@@ -1,0 +1,26 @@
+//! Rule-compiler speed: parsing + ARON table generation for the shipped
+//! programs. The paper compiles rule bases "off-line"; this bench shows
+//! reconfiguration cost is negligible (microseconds to milliseconds), so a
+//! network could realistically be re-programmed between application runs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ftr_algos::rules_src;
+use ftr_rules::{compile, parse, CompileOptions};
+use std::hint::black_box;
+
+fn bench_compile(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rule_compiler");
+    for (name, src) in rules_src::all() {
+        g.bench_function(format!("parse_{name}"), |b| {
+            b.iter(|| black_box(parse(black_box(src)).unwrap()))
+        });
+        let prog = parse(src).unwrap();
+        g.bench_function(format!("compile_{name}"), |b| {
+            b.iter(|| black_box(compile(black_box(&prog), &CompileOptions::default()).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_compile);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Simulator throughput: cycles/second for the native algorithms and the
+//! rule-driven router — quantifies the cost of full rule interpretation in
+//! the control path of every simulated router.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ftr_algos::{Nafta, Nara, XyRouting};
+use ftr_core::{registry, RuleRouter};
+use ftr_sim::routing::RoutingAlgorithm;
+use ftr_sim::{Network, Pattern, SimConfig, TrafficSource};
+use ftr_topo::Mesh2D;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn run_sim(mesh: &Mesh2D, algo: &dyn RoutingAlgorithm, cycles: u64) -> u64 {
+    let mut net = Network::new(Arc::new(mesh.clone()), algo, SimConfig::default());
+    let mut tf = TrafficSource::new(Pattern::Uniform, 0.1, 4, 1);
+    for _ in 0..cycles {
+        for (s, d, l) in tf.tick(mesh, net.faults()) {
+            net.send(s, d, l);
+        }
+        net.step();
+    }
+    net.stats.delivered_msgs
+}
+
+fn bench_sim(c: &mut Criterion) {
+    let mesh = Mesh2D::new(8, 8);
+    let mut g = c.benchmark_group("sim_500_cycles_8x8");
+    g.sample_size(20);
+
+    let xy = XyRouting::new(mesh.clone());
+    g.bench_function("native_xy", |b| b.iter(|| black_box(run_sim(&mesh, &xy, 500))));
+
+    let nara = Nara::new(mesh.clone());
+    g.bench_function("native_nara", |b| b.iter(|| black_box(run_sim(&mesh, &nara, 500))));
+
+    let nafta = Nafta::new(mesh.clone());
+    g.bench_function("native_nafta", |b| b.iter(|| black_box(run_sim(&mesh, &nafta, 500))));
+
+    let cfg = registry::configuration("xy").unwrap();
+    let rule_xy = RuleRouter::new(cfg, mesh.clone(), 1);
+    g.bench_function("rule_driven_xy", |b| {
+        b.iter(|| black_box(run_sim(&mesh, &rule_xy, 500)))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Experiment E8 — empirical compliance with conditions 1–3 (§2.1).
+//!
+//! For every algorithm and growing random fault counts, reports which
+//! fraction of node pairs satisfying each condition's premise the
+//! algorithm actually handles. Expected shape:
+//!   * XY: cond2 only (oblivious, minimal, zero fault tolerance);
+//!   * west-first: cond2 + partial cond1;
+//!   * NARA: full cond1 fault-free, collapses under faults;
+//!   * NAFTA: full cond1 fault-free, high cond2/cond3 under faults
+//!     (not 100% — convex completion, as the paper concedes);
+//!   * spanning tree: cond3 always, cond2 rarely.
+
+use ftr_algos::{
+    check_conditions, ConditionsReport, Nafta, Nara, SpanningTreeRouting, WestFirst, XyRouting,
+};
+use ftr_sim::routing::RoutingAlgorithm;
+use ftr_topo::{FaultSet, Mesh2D};
+
+fn row(name: &str, algo: &dyn RoutingAlgorithm, mesh: &Mesh2D, faults: &FaultSet) {
+    let rep = check_conditions(mesh, algo, faults, None);
+    println!(
+        "{:<16} {:>6} {:>9.3} {:>9.3} {:>9.3}",
+        name,
+        faults.num_link_faults(),
+        ConditionsReport::ratio(rep.cond1_ok, rep.cond1_pairs),
+        ConditionsReport::ratio(rep.cond2_ok, rep.cond2_pairs),
+        ConditionsReport::ratio(rep.cond3_ok, rep.cond3_pairs),
+    );
+}
+
+fn main() {
+    let mesh = Mesh2D::new(6, 6);
+    println!("Conditions 1–3 compliance ratios (1.0 = premise always satisfied)\n");
+    println!(
+        "{:<16} {:>6} {:>9} {:>9} {:>9}",
+        "algorithm", "|F|", "cond1", "cond2", "cond3"
+    );
+
+    for nf in [0usize, 2, 4, 6] {
+        let mut faults = FaultSet::new();
+        faults.inject_random_links(&mesh, nf, true, 31);
+        row("xy", &XyRouting::new(mesh.clone()), &mesh, &faults);
+        row("west-first", &WestFirst::new(mesh.clone()), &mesh, &faults);
+        row("nara", &Nara::new(mesh.clone()), &mesh, &faults);
+        row("nafta", &Nafta::new(mesh.clone()), &mesh, &faults);
+        row(
+            "spanning-tree",
+            &SpanningTreeRouting::new(mesh.clone()),
+            &mesh,
+            &faults,
+        );
+        println!();
+    }
+}

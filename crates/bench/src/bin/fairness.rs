@@ -1,0 +1,54 @@
+//! Experiment E14 (ablation) — scheduling and fairness (§3).
+//!
+//! "It may be desirable to favor messages misrouted due to faults to
+//! compensate the double disadvantage of the longer path and higher loaded
+//! links." The simulator's switch allocator supports exactly that policy;
+//! this experiment measures the latency of detoured vs direct messages
+//! with the policy off and on.
+
+use ftr_algos::Nafta;
+use ftr_sim::{Network, Pattern, SimConfig, TrafficSource};
+use ftr_topo::{FaultSet, Mesh2D};
+use std::sync::Arc;
+
+fn run(prioritize: bool) -> (f64, f64, u64) {
+    let mesh = Mesh2D::new(8, 8);
+    let mut faults = FaultSet::new();
+    faults.inject_random_links(&mesh, 8, true, 41);
+    let cfg = SimConfig { prioritize_misrouted: prioritize, ..Default::default() };
+    let algo = Nafta::new(mesh.clone());
+    let mut net = Network::new(Arc::new(mesh.clone()), &algo, cfg);
+    net.apply_fault_set(&faults);
+    net.settle_control(100_000).unwrap();
+    net.set_measuring(true);
+    let mut tf = TrafficSource::new(Pattern::Uniform, 0.12, 4, 55);
+    for _ in 0..4_000 {
+        for (s, d, l) in tf.tick(&mesh, net.faults()) {
+            net.send(s, d, l);
+        }
+        net.step();
+    }
+    net.drain(100_000);
+    (
+        net.stats.latency_direct.mean(),
+        net.stats.latency_detoured.mean(),
+        net.stats.latency_detoured.count,
+    )
+}
+
+fn main() {
+    println!("Fairness ablation: favouring fault-misrouted messages in the switch");
+    println!("(NAFTA, 8x8 mesh, 8 link faults, load 0.12)\n");
+    println!(
+        "{:<22} {:>14} {:>16} {:>10}",
+        "policy", "direct latency", "detoured latency", "detoured#"
+    );
+    for (name, on) in [("round-robin", false), ("misrouted-first", true)] {
+        let (direct, detoured, n) = run(on);
+        println!("{:<22} {:>14.1} {:>16.1} {:>10}", name, direct, detoured, n);
+    }
+    println!(
+        "\nExpected shape: the policy narrows the detoured-vs-direct latency\n\
+         gap at a small cost to direct traffic — 'adaptivity in the small'."
+    );
+}

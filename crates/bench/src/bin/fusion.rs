@@ -1,0 +1,67 @@
+//! Experiment E5 — the rule-base fusion blow-up.
+//!
+//! The paper (§5): "it is possible to integrate several steps into one,
+//! but this would result in very large rule bases ... the combination of
+//! the two rule bases of ROUTE_C decide_dir and decide_vc requires a rule
+//! interpreter configuration with 1024·2^d × (d+1+a) bits rule table."
+//!
+//! This binary fuses decide_dir + decide_vc of the shipped ROUTE_C program
+//! and NAFTA's decision chain, reporting the fused table geometry against
+//! the separate-step cost.
+
+use ftr_algos::rules_src;
+use ftr_rules::fuse::fuse;
+use ftr_rules::{parse, CompileOptions};
+
+fn main() {
+    let opts = CompileOptions { max_entries: 1 << 30 };
+
+    println!("Fused rule-base cost vs separate interpretation steps\n");
+    println!(
+        "{:<36} {:>12} {:>7} {:>14} {:>14} {:>8}",
+        "fusion", "entries", "width", "fused bits", "separate bits", "blow-up"
+    );
+
+    let route_c = parse(rules_src::ROUTE_C).expect("route_c parses");
+    let f = fuse(&route_c, &["decide_dir", "decide_vc"], &opts).expect("fusible");
+    println!(
+        "{:<36} {:>12} {:>7} {:>14} {:>14} {:>8.1}",
+        "route_c: decide_dir+decide_vc",
+        f.entries,
+        f.width_bits,
+        f.table_bits,
+        f.separate_table_bits,
+        f.blowup()
+    );
+    let d = 6u32;
+    let a = 2u32;
+    println!(
+        "{:<36} {:>12} {:>7} {:>14}",
+        "  paper formula 1024*2^d x (d+1+a)",
+        1024u64 << d,
+        d + 1 + a,
+        (1024u64 << d) * (d + 1 + a) as u64,
+    );
+
+    let nafta = parse(rules_src::NAFTA).expect("nafta parses");
+    let f = fuse(
+        &nafta,
+        &["incoming_message", "in_message_ft", "test_exception"],
+        &opts,
+    )
+    .expect("fusible");
+    println!(
+        "{:<36} {:>12} {:>7} {:>14} {:>14} {:>8.1}",
+        "nafta: 3-step decision chain",
+        f.entries,
+        f.width_bits,
+        f.table_bits,
+        f.separate_table_bits,
+        f.blowup()
+    );
+
+    println!(
+        "\nConclusion (paper §5): keeping consecutive interpretation steps \
+         separate trades decision latency for exponentially smaller tables."
+    );
+}

@@ -1,0 +1,103 @@
+//! Experiment E7 — network latency vs offered load as routing-decision
+//! time and fault tolerance vary.
+//!
+//! Reproduces the effect the paper builds on (\[DLO97\]: "The Impact of
+//! Routing Decision Time on Network Latency") and the FT overhead in time:
+//! NAFTA pays for fault tolerance with up to three interpretation steps,
+//! the stripped variants decide in one.
+//!
+//! Series produced:
+//!   1. NARA vs NAFTA on an 8x8 mesh, fault-free (overhead ≈ 0 at equal
+//!      decision time — NAFTA decides in 1 step when no fault interferes);
+//!   2. decision time 1 vs 3 cycles/step for NARA (latency shift);
+//!   3. NAFTA with 0 / 4 / 8 link faults (graceful degradation);
+//!   4. ROUTE_C vs stripped ROUTE_C on a 5-cube (the always-2-steps cost).
+
+use ftr_bench::{format_curve, measure_load, LoadPoint};
+use ftr_algos::{Nafta, Nara, RouteC};
+use ftr_sim::routing::RoutingAlgorithm;
+use ftr_sim::{Pattern, SimConfig};
+use ftr_topo::{FaultSet, Hypercube, Mesh2D, Topology};
+
+const LOADS: &[f64] = &[0.02, 0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35];
+const WARMUP: u64 = 1_000;
+const WINDOW: u64 = 3_000;
+
+fn curve<T: Topology + Clone + Sync + 'static>(
+    topo: &T,
+    algo: &(dyn RoutingAlgorithm + Sync),
+    faults: &FaultSet,
+    cfg: SimConfig,
+) -> Vec<LoadPoint> {
+    let inputs: Vec<f64> = LOADS.to_vec();
+    ftr_sim::run_sweep(inputs, ftr_sim::sweep::default_threads(), |&load| {
+        measure_load(
+            topo,
+            algo,
+            faults,
+            Pattern::Uniform,
+            load,
+            4,
+            WARMUP,
+            WINDOW,
+            42,
+            cfg,
+        )
+    })
+}
+
+fn main() {
+    let mesh = Mesh2D::new(8, 8);
+    let cfg = SimConfig::default();
+
+    let nara = Nara::new(mesh.clone());
+    let nafta = Nafta::new(mesh.clone());
+
+    println!(
+        "{}",
+        format_curve("NARA, 8x8 mesh, fault-free", &curve(&mesh, &nara, &FaultSet::new(), cfg))
+    );
+    println!(
+        "{}",
+        format_curve(
+            "NAFTA, 8x8 mesh, fault-free",
+            &curve(&mesh, &nafta, &FaultSet::new(), cfg)
+        )
+    );
+
+    let slow = SimConfig { decision_cycles_per_step: 3, ..cfg };
+    println!(
+        "{}",
+        format_curve(
+            "NARA, decision time 3 cycles/step ([DLO97] effect)",
+            &curve(&mesh, &nara, &FaultSet::new(), slow)
+        )
+    );
+
+    for n in [4usize, 8] {
+        let mut faults = FaultSet::new();
+        faults.inject_random_links(&mesh, n, true, 5);
+        println!(
+            "{}",
+            format_curve(
+                &format!("NAFTA, 8x8 mesh, {n} link faults"),
+                &curve(&mesh, &nafta, &faults, cfg)
+            )
+        );
+    }
+
+    let cube = Hypercube::new(5);
+    let rc = RouteC::new(cube.clone());
+    let rc_nft = RouteC::stripped(cube.clone());
+    println!(
+        "{}",
+        format_curve("ROUTE_C, 5-cube, fault-free", &curve(&cube, &rc, &FaultSet::new(), cfg))
+    );
+    println!(
+        "{}",
+        format_curve(
+            "stripped ROUTE_C (nft), 5-cube",
+            &curve(&cube, &rc_nft, &FaultSet::new(), cfg)
+        )
+    );
+}

@@ -1,0 +1,50 @@
+//! Experiment E3 — register accounting for every shipped configuration.
+//!
+//! The paper (§5): NAFTA needs "159 bits ... organized in 8 registers,
+//! where some of them are modified by several rule bases; only 47 bits
+//! account for fault-tolerance". ROUTE_C needs "15d + 2 log d + 3 register
+//! bits ... organized as nine registers"; "9d register bits are needed in
+//! the non-fault-tolerant case too".
+
+use ftr_core::registry::{configuration, list_configurations};
+
+fn main() {
+    println!("Register accounting per configuration\n");
+    println!(
+        "| configuration | registers | total bits | FT-only bits | shared-writer registers |"
+    );
+    println!("|---------------|----------:|-----------:|-------------:|------------------------:|");
+    for name in list_configurations() {
+        let cfg = configuration(name).expect("shipped configs compile");
+        let shared = cfg
+            .cost
+            .registers
+            .iter()
+            .filter(|r| r.writers.len() > 1)
+            .count();
+        println!(
+            "| {} | {} | {} | {} | {} |",
+            name,
+            cfg.cost.num_registers(),
+            cfg.cost.total_register_bits(),
+            cfg.cost.ft_only_register_bits(),
+            shared,
+        );
+    }
+
+    println!("\nPer-register detail (nafta):");
+    let cfg = configuration("nafta").unwrap();
+    for r in &cfg.cost.registers {
+        println!(
+            "  {:<14} {:>4} bits  writers=[{}] readers=[{}]{}",
+            r.name,
+            r.total_bits,
+            r.writers.join(","),
+            r.readers.join(","),
+            if r.ft_only { "  (FT-only)" } else { "" }
+        );
+    }
+
+    println!("\npaper NAFTA:   159 bits / 8 registers / 47 FT-only");
+    println!("paper ROUTE_C: 15d+2·log d+3 bits / 9 registers (d=6: 99 bits; nft: 9d = 54)");
+}

@@ -1,0 +1,86 @@
+//! Experiment E4 — consecutive rule interpretations per routing decision.
+//!
+//! The paper (§5): "While NAFTA in the fault-free case proceeds with one
+//! step and in the worst case needs three, ROUTE_C always needs two steps.
+//! In both cases this overhead in time accounts to fault-tolerance. The
+//! non-fault-tolerant routing algorithm NARA and a stripped down variant
+//! of ROUTE_C can be implemented with only one interpretation per
+//! message."
+//!
+//! Measured here by running each algorithm in the simulator and recording
+//! the step count of every routing decision, fault-free and with faults.
+
+use ftr_algos::{Nafta, Nara, RouteC};
+use ftr_sim::routing::RoutingAlgorithm;
+use ftr_sim::{Network, Pattern, SimConfig, TrafficSource};
+use ftr_topo::{FaultSet, Hypercube, Mesh2D, Topology};
+use std::sync::Arc;
+
+fn run<T: Topology + Clone + 'static>(
+    topo: &T,
+    algo: &dyn RoutingAlgorithm,
+    faults: &FaultSet,
+) -> (f64, u64, u64) {
+    let mut net = Network::new(Arc::new(topo.clone()), algo, SimConfig::default());
+    net.apply_fault_set(faults);
+    net.settle_control(100_000).expect("settles");
+    net.set_measuring(true);
+    let mut tf = TrafficSource::new(Pattern::Uniform, 0.15, 4, 99);
+    for _ in 0..1_500 {
+        for (s, d, l) in tf.tick(topo, net.faults()) {
+            net.send(s, d, l);
+        }
+        net.step();
+    }
+    net.drain(100_000);
+    let s = &net.stats.decision_steps;
+    (s.mean(), s.min, s.max)
+}
+
+fn main() {
+    println!("Rule interpretations per routing decision (mean / min / max)\n");
+    println!("{:<22} {:>10} {:>6} {:>6}   note", "algorithm", "mean", "min", "max");
+
+    let mesh = Mesh2D::new(8, 8);
+    let mut mesh_faults = FaultSet::new();
+    mesh_faults.inject_random_links(&mesh, 6, true, 7);
+
+    let (m, lo, hi) = run(&mesh, &Nara::new(mesh.clone()), &FaultSet::new());
+    println!("{:<22} {:>10.3} {:>6} {:>6}   paper: 1", "nara (fault-free)", m, lo, hi);
+
+    let (m, lo, hi) = run(&mesh, &Nafta::new(mesh.clone()), &FaultSet::new());
+    println!("{:<22} {:>10.3} {:>6} {:>6}   paper: 1", "nafta (fault-free)", m, lo, hi);
+
+    let (m, lo, hi) = run(&mesh, &Nafta::new(mesh.clone()), &mesh_faults);
+    println!(
+        "{:<22} {:>10.3} {:>6} {:>6}   paper: up to 3 near faults",
+        "nafta (6 link faults)", m, lo, hi
+    );
+
+    let cube = Hypercube::new(5);
+    let mut cube_faults = FaultSet::new();
+    cube_faults.inject_random_nodes(&cube, 2, true, 11);
+
+    let (m, lo, hi) = run(&cube, &RouteC::new(cube.clone()), &FaultSet::new());
+    println!(
+        "{:<22} {:>10.3} {:>6} {:>6}   paper: always 2",
+        "route_c (fault-free)", m, lo, hi
+    );
+
+    let (m, lo, hi) = run(&cube, &RouteC::new(cube.clone()), &cube_faults);
+    println!(
+        "{:<22} {:>10.3} {:>6} {:>6}   paper: always 2",
+        "route_c (2 node flt)", m, lo, hi
+    );
+
+    let (m, lo, hi) = run(&cube, &RouteC::stripped(cube.clone()), &FaultSet::new());
+    println!(
+        "{:<22} {:>10.3} {:>6} {:>6}   paper: 1 (stripped)",
+        "route_c_nft", m, lo, hi
+    );
+
+    println!(
+        "\n(min = 0 appears when a message is delivered at its injection node's \
+         neighbour and the ejection shortcut fires; see ftr-sim docs)"
+    );
+}

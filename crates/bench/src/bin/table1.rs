@@ -1,0 +1,45 @@
+//! Experiment E1 — regenerates **Table 1**: the rule bases of NAFTA.
+//!
+//! Prints name, compiled table size (entries × width bits), FCFB
+//! inventory and the nft marker for every rule base of the NAFTA rule
+//! program, followed by the totals the paper quotes in the prose.
+//! Compare against the paper's Table 1 (see EXPERIMENTS.md).
+
+use ftr_core::{registry::configuration, HardwareReport};
+
+fn main() {
+    let cfg = configuration("nafta").expect("nafta program compiles");
+    println!("Table 1 — rule bases of NAFTA (regenerated)\n");
+    println!("{}", cfg.cost.to_markdown());
+
+    let report = HardwareReport::of(&cfg);
+    println!("{}", report.summary());
+    println!(
+        "fault-tolerance overhead: {} table bits ({}x over the nft subset = NARA)",
+        report.ft_table_overhead(),
+        report.ft_table_factor()
+    );
+
+    println!("\nRegisters:");
+    println!("| register | bits | cells | writers | FT-only |");
+    println!("|----------|-----:|------:|---------|:-------:|");
+    for r in &cfg.cost.registers {
+        println!(
+            "| {} | {} | {} | {} | {} |",
+            r.name,
+            r.total_bits,
+            r.cells,
+            r.writers.join(", "),
+            if r.ft_only { "*" } else { "" }
+        );
+    }
+    println!(
+        "\npaper: 159 register bits in 8 registers, 47 bits fault-tolerance-only"
+    );
+    println!(
+        "here:  {} register bits in {} registers, {} bits fault-tolerance-only",
+        cfg.cost.total_register_bits(),
+        cfg.cost.num_registers(),
+        cfg.cost.ft_only_register_bits()
+    );
+}

@@ -1,0 +1,84 @@
+//! Information units — "generate information about the links, like load
+//! (which can be measured by buffer exploitation) and faults" (Figure 3).
+//!
+//! Translates the simulator's [`RouterView`] into the standard rule-program
+//! inputs `free[dirs]`, `linkok[dirs]` and `out_queue[dirs]`. Programs only
+//! need to declare the inputs they actually read; loading skips inputs a
+//! program does not declare.
+
+use ftr_rules::{InputMap, Program, Result, Value};
+use ftr_sim::routing::RouterView;
+use ftr_topo::VcId;
+
+/// Loads the per-decision link information into `im`.
+///
+/// * `free(d)` — output channel `d` is allocatable on virtual channel `vc`
+///   (busy/credit state of the data path);
+/// * `linkok(d)` — the physical link behind `d` is alive;
+/// * `out_queue(d)` — data still assigned to output `d` (the adaptivity
+///   criterion), clamped to the input's domain.
+pub fn load_link_info(
+    prog: &Program,
+    im: &mut InputMap,
+    view: &RouterView<'_>,
+    vc: VcId,
+) -> Result<()> {
+    let degree = view.link_alive.len();
+    let has = |name: &str| prog.inputs.iter().any(|i| i.name == name);
+    for d in 0..degree {
+        let idx = [Value::Int(d as i64)];
+        if has("free") {
+            let f = view.link_alive[d] && view.out_free[d][vc.idx()];
+            im.set(prog, "free", &idx, Value::Bool(f))?;
+        }
+        if has("linkok") {
+            im.set(prog, "linkok", &idx, Value::Bool(view.link_alive[d]))?;
+        }
+        if has("out_queue") {
+            let q = view.out_load[d].min(255) as i64;
+            im.set(prog, "out_queue", &idx, Value::Int(q))?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftr_rules::{parse, InputProvider};
+    use ftr_topo::NodeId;
+
+    #[test]
+    fn loads_declared_inputs_only() {
+        let prog = parse(
+            "CONSTANT dirs = 0 TO 3\nINPUT free[dirs] IN bool\nINPUT out_queue[dirs] IN 0 TO 255\n",
+        )
+        .unwrap();
+        let out_free = vec![vec![true], vec![false], vec![true], vec![true]];
+        let out_load = vec![3, 400, 0, 7];
+        let link_alive = vec![true, true, false, true];
+        let view = RouterView {
+            node: NodeId(0),
+            cycle: 0,
+            out_free: &out_free,
+            out_load: &out_load,
+            link_alive: &link_alive,
+        };
+        let mut im = InputMap::new();
+        load_link_info(&prog, &mut im, &view, VcId(0)).unwrap();
+        // free(2) is false because the link is dead even though the VC is free
+        assert_eq!(
+            im.read_input(&prog, 0, &[Value::Int(2)]).unwrap(),
+            Value::Bool(false)
+        );
+        assert_eq!(
+            im.read_input(&prog, 0, &[Value::Int(0)]).unwrap(),
+            Value::Bool(true)
+        );
+        // out_queue clamps to 255
+        assert_eq!(
+            im.read_input(&prog, 1, &[Value::Int(1)]).unwrap(),
+            Value::Int(255)
+        );
+    }
+}

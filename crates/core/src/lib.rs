@@ -1,0 +1,72 @@
+//! # ftr-core — the flexible fault-tolerant router
+//!
+//! The paper's router architecture (Figure 3) assembled from the other
+//! crates: the **data path** (input/output buffers, connection unit) is the
+//! simulator's router model; the **control unit** is a block of rule
+//! interpreters (`ftr-rules`) coordinated by an event manager; the
+//! **message interface** extracts header fields and delivers them as rule
+//! inputs; the **information units** report link state and load.
+//!
+//! * [`configure`] is the "Rule Compiler": rule-language source →
+//!   [`RouterConfiguration`] (compiled tables + hardware cost report).
+//! * [`RuleRouter`] plugs a configuration into `ftr-sim` as a
+//!   [`ftr_sim::routing::RoutingAlgorithm`], so a network can be *driven
+//!   entirely by rule programs* — loading a different program changes the
+//!   routing behaviour without touching the router (the paper's
+//!   flexibility claim).
+//! * [`registry`] names the shipped configurations (xy, west_first, nafta,
+//!   route_c, route_c_nft).
+
+pub mod cube_router;
+pub mod info_unit;
+pub mod registry;
+pub mod report;
+pub mod rule_router;
+
+pub use registry::{configuration, list_configurations};
+pub use report::HardwareReport;
+pub use cube_router::CubeRuleRouter;
+pub use rule_router::{MeshInterface, RuleRouter};
+
+use ftr_rules::{compile, cost, CompileOptions, CompiledProgram, ProgramCost, Result};
+
+/// A compiled router configuration: the output of the paper's "rule
+/// compiler" tool — configuration data for the rule interpreters plus the
+/// hardware cost model used in §5.
+#[derive(Clone, Debug)]
+pub struct RouterConfiguration {
+    /// Configuration name.
+    pub name: String,
+    /// Compiled program (tables + conclusion code).
+    pub compiled: CompiledProgram,
+    /// Hardware cost report (Table 1/2 shape).
+    pub cost: ProgramCost,
+}
+
+/// Compiles rule-language source into a router configuration.
+pub fn configure(name: &str, src: &str) -> Result<RouterConfiguration> {
+    let opts = CompileOptions::default();
+    let prog = ftr_rules::parse(src)?;
+    let compiled = compile(&prog, &opts)?;
+    let cost = cost::analyze(&prog, &opts)?;
+    Ok(RouterConfiguration { name: name.to_string(), compiled, cost })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn configure_builds_cost_and_tables() {
+        let cfg = configure("xy", ftr_algos::rules_src::XY).unwrap();
+        assert_eq!(cfg.name, "xy");
+        assert_eq!(cfg.compiled.bases.len(), 1);
+        assert_eq!(cfg.cost.rulebases.len(), 1);
+        assert!(cfg.cost.total_table_bits() > 0);
+    }
+
+    #[test]
+    fn configure_rejects_bad_source() {
+        assert!(configure("bad", "ON f( END").is_err());
+    }
+}

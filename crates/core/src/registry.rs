@@ -1,0 +1,46 @@
+//! Named router configurations (the shipped rule programs, compiled).
+
+use crate::{configure, RouterConfiguration};
+use ftr_algos::rules_src;
+use ftr_rules::{Result, RuleError};
+
+/// Names of the shipped configurations.
+pub fn list_configurations() -> Vec<&'static str> {
+    vec!["xy", "west_first", "nafta", "route_c", "route_c_nft"]
+}
+
+/// Compiles a shipped configuration by name.
+pub fn configuration(name: &str) -> Result<RouterConfiguration> {
+    let src = match name {
+        "xy" => rules_src::XY,
+        "west_first" => rules_src::WEST_FIRST,
+        "nafta" => rules_src::NAFTA,
+        "route_c" => rules_src::ROUTE_C,
+        "route_c_nft" => rules_src::ROUTE_C_NFT,
+        other => {
+            return Err(RuleError::resolve(format!(
+                "unknown configuration `{other}` (available: {:?})",
+                list_configurations()
+            )))
+        }
+    };
+    configure(name, src)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_listed_configuration_compiles() {
+        for name in list_configurations() {
+            let cfg = configuration(name).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(!cfg.cost.rulebases.is_empty(), "{name} has rule bases");
+        }
+    }
+
+    #[test]
+    fn unknown_name_errors() {
+        assert!(configuration("chaos").is_err());
+    }
+}

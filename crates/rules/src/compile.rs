@@ -1,0 +1,682 @@
+//! ARON compilation: rule base → completely filled lookup table.
+//!
+//! "Its main concept is the generation of an unique index to a table in
+//! which the conclusions of the rules are stored. This index is computed
+//! from the input values and has a much smaller range than the input space.
+//! The rule base itself is compiled off-line to a completely filled rule
+//! table where conflicts are resolved and gaps are eliminated." (§4.3)
+//!
+//! The compiler extracts *features* from the premises:
+//!
+//! * a **direct** feature uses the raw value of a symbol/boolean subject as
+//!   part of the table index (the paper: "since for `state` and
+//!   `new_state(dir)` all individual values occur in the premises of the
+//!   rules, no comparison is needed and their current values are used as
+//!   part of the table index directly");
+//! * a **predicate** feature is one bit computed by an FCFB (comparators on
+//!   integer counters, membership tests on runtime sets, …).
+//!
+//! Quantifiers are expanded over their (finite, ≤ 64 element) domains before
+//! extraction, and `/=` is normalised to `NOT =` so equality atoms have one
+//! shape. The table is then filled by enumerating the whole feature space;
+//! conflicts resolve to the first applicable rule in source order, gaps
+//! (combinations where no premise holds, including physically unsatisfiable
+//! ones) map to a no-op entry.
+
+use crate::ast::*;
+use crate::error::{Result, RuleError};
+use crate::interp::{CompiledProgram, CompiledRuleBase};
+use crate::value::{ceil_log2, Domain, Value};
+use std::collections::HashMap;
+
+/// Compilation parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct CompileOptions {
+    /// Maximum number of table entries per rule base (feature-space size).
+    pub max_entries: u64,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions { max_entries: 1 << 20 }
+    }
+}
+
+/// How one feature contributes to the table index.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FeatureKind {
+    /// The subject's raw value is an index digit (radix = domain size).
+    Direct {
+        /// The wired subject expression.
+        subject: Expr,
+        /// Its domain.
+        dom: Domain,
+    },
+    /// One bit computed from an arbitrary boolean expression.
+    Predicate {
+        /// The expression an FCFB evaluates.
+        expr: Expr,
+    },
+}
+
+/// One extracted feature.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Feature {
+    /// Direct or predicate.
+    pub kind: FeatureKind,
+    /// Radix of this index digit.
+    pub size: u64,
+}
+
+/// How an atom's truth is recovered from feature values.
+#[derive(Clone, Debug)]
+enum AtomTest {
+    /// Predicate feature bit is the truth value.
+    Bit,
+    /// Direct feature equals this literal.
+    EqLit(Value),
+    /// Direct feature is a member of this literal set.
+    InLit(Domain, u64),
+    /// Direct boolean feature used bare.
+    BoolDirect,
+}
+
+#[derive(Default)]
+struct FeatureSet {
+    features: Vec<Feature>,
+    /// atom expression → (feature index, test)
+    atoms: HashMap<Expr, (usize, AtomTest)>,
+}
+
+impl FeatureSet {
+    fn direct(&mut self, prog: &Program, subject: Expr, dom: Domain) -> usize {
+        for (i, f) in self.features.iter().enumerate() {
+            if let FeatureKind::Direct { subject: s, .. } = &f.kind {
+                if *s == subject {
+                    return i;
+                }
+            }
+        }
+        let size = dom.size(&prog.sym_sizes());
+        self.features.push(Feature { kind: FeatureKind::Direct { subject, dom }, size });
+        self.features.len() - 1
+    }
+
+    fn predicate(&mut self, expr: Expr) -> usize {
+        for (i, f) in self.features.iter().enumerate() {
+            if let FeatureKind::Predicate { expr: e } = &f.kind {
+                if *e == expr {
+                    return i;
+                }
+            }
+        }
+        self.features.push(Feature { kind: FeatureKind::Predicate { expr }, size: 2 });
+        self.features.len() - 1
+    }
+}
+
+/// Substitutes `Bound(depth)` with a literal and shifts deeper binders.
+pub fn subst_bound(e: &Expr, depth: usize, v: Value) -> Expr {
+    match e {
+        Expr::Lit(x) => Expr::Lit(*x),
+        Expr::Ref(Ref::Bound(d)) => {
+            use std::cmp::Ordering::*;
+            match d.cmp(&depth) {
+                Equal => Expr::Lit(v),
+                Greater => Expr::Ref(Ref::Bound(d - 1)),
+                Less => Expr::Ref(Ref::Bound(*d)),
+            }
+        }
+        Expr::Ref(r) => Expr::Ref(*r),
+        Expr::Indexed { target, indices } => Expr::Indexed {
+            target: *target,
+            indices: indices.iter().map(|i| subst_bound(i, depth, v)).collect(),
+        },
+        Expr::Un(op, inner) => Expr::Un(*op, Box::new(subst_bound(inner, depth, v))),
+        Expr::Bin(op, l, r) => Expr::Bin(
+            *op,
+            Box::new(subst_bound(l, depth, v)),
+            Box::new(subst_bound(r, depth, v)),
+        ),
+        Expr::Quant { q, dom, set, body } => Expr::Quant {
+            q: *q,
+            dom: *dom,
+            set: Box::new(subst_bound(set, depth, v)),
+            body: Box::new(subst_bound(body, depth + 1, v)),
+        },
+        Expr::Call { builtin, args } => Expr::Call {
+            builtin: *builtin,
+            args: args.iter().map(|a| subst_bound(a, depth, v)).collect(),
+        },
+    }
+}
+
+/// Expands all quantifiers over their finite domains and normalises `/=`.
+pub fn expand_quantifiers(prog: &Program, e: &Expr) -> Result<Expr> {
+    Ok(match e {
+        Expr::Quant { q, dom, set, body } => {
+            let set_e = expand_quantifiers(prog, set)?;
+            let body_e = expand_quantifiers(prog, body)?;
+            let n = dom.size(&prog.sym_sizes());
+            if n > 64 {
+                return Err(RuleError::resolve(
+                    "quantifier domain exceeds 64 elements".to_string(),
+                ));
+            }
+            let mut acc: Option<Expr> = None;
+            for k in 0..n {
+                let v = dom.value_at(k);
+                let guard = Expr::Bin(
+                    BinOp::In,
+                    Box::new(Expr::Lit(v)),
+                    Box::new(set_e.clone()),
+                );
+                let inst = subst_bound(&body_e, 0, v);
+                let term = match q {
+                    Quant::Exists => {
+                        Expr::Bin(BinOp::And, Box::new(guard), Box::new(inst))
+                    }
+                    Quant::Forall => Expr::Bin(
+                        BinOp::Or,
+                        Box::new(Expr::Un(UnOp::Not, Box::new(guard))),
+                        Box::new(inst),
+                    ),
+                };
+                acc = Some(match acc {
+                    None => term,
+                    Some(prev) => {
+                        let op = match q {
+                            Quant::Exists => BinOp::Or,
+                            Quant::Forall => BinOp::And,
+                        };
+                        Expr::Bin(op, Box::new(prev), Box::new(term))
+                    }
+                });
+            }
+            acc.unwrap_or(Expr::Lit(Value::Bool(matches!(q, Quant::Forall))))
+        }
+        Expr::Bin(BinOp::Ne, l, r) => {
+            let l = expand_quantifiers(prog, l)?;
+            let r = expand_quantifiers(prog, r)?;
+            Expr::Un(
+                UnOp::Not,
+                Box::new(Expr::Bin(BinOp::Eq, Box::new(l), Box::new(r))),
+            )
+        }
+        Expr::Bin(op, l, r) => Expr::Bin(
+            *op,
+            Box::new(expand_quantifiers(prog, l)?),
+            Box::new(expand_quantifiers(prog, r)?),
+        ),
+        Expr::Un(op, inner) => Expr::Un(*op, Box::new(expand_quantifiers(prog, inner)?)),
+        Expr::Indexed { target, indices } => {
+            let idx: Result<Vec<Expr>> =
+                indices.iter().map(|i| expand_quantifiers(prog, i)).collect();
+            Expr::Indexed { target: *target, indices: idx? }
+        }
+        Expr::Call { builtin, args } => {
+            let a: Result<Vec<Expr>> =
+                args.iter().map(|x| expand_quantifiers(prog, x)).collect();
+            Expr::Call { builtin: *builtin, args: a? }
+        }
+        other => other.clone(),
+    })
+}
+
+/// True if the expression reads anything dynamic (register, input,
+/// parameter, binder) — such expressions cannot be folded at compile time.
+fn contains_dynamic_ref(e: &Expr) -> bool {
+    match e {
+        Expr::Lit(_) => false,
+        Expr::Ref(Ref::Const(_)) => false,
+        Expr::Ref(_) => true,
+        Expr::Indexed { .. } => true,
+        Expr::Un(_, inner) => contains_dynamic_ref(inner),
+        Expr::Bin(_, l, r) => contains_dynamic_ref(l) || contains_dynamic_ref(r),
+        Expr::Quant { set, body, .. } => {
+            contains_dynamic_ref(set) || contains_dynamic_ref(body)
+        }
+        Expr::Call { builtin, args } => {
+            matches!(builtin, Builtin::ArgMin(_) | Builtin::ArgMax(_))
+                || args.iter().any(contains_dynamic_ref)
+        }
+    }
+}
+
+/// Folds constant subexpressions (quantifier expansion leaves many
+/// `Lit IN Lit-set` guards behind; without folding each would become a
+/// spurious predicate feature and double the table).
+pub fn fold_consts(prog: &Program, e: &Expr) -> Result<Expr> {
+    // fold children first
+    let folded = match e {
+        Expr::Un(op, inner) => Expr::Un(*op, Box::new(fold_consts(prog, inner)?)),
+        Expr::Bin(op, l, r) => Expr::Bin(
+            *op,
+            Box::new(fold_consts(prog, l)?),
+            Box::new(fold_consts(prog, r)?),
+        ),
+        Expr::Indexed { target, indices } => {
+            let idx: Result<Vec<Expr>> =
+                indices.iter().map(|i| fold_consts(prog, i)).collect();
+            Expr::Indexed { target: *target, indices: idx? }
+        }
+        Expr::Call { builtin, args } => {
+            let a: Result<Vec<Expr>> = args.iter().map(|x| fold_consts(prog, x)).collect();
+            Expr::Call { builtin: *builtin, args: a? }
+        }
+        other => other.clone(),
+    };
+    if contains_dynamic_ref(&folded) {
+        // boolean simplifications with constant halves
+        if let Expr::Bin(op @ (BinOp::And | BinOp::Or), l, r) = &folded {
+            let (konst, dynamic) = match (&**l, &**r) {
+                (Expr::Lit(Value::Bool(b)), d) => (Some(*b), d),
+                (d, Expr::Lit(Value::Bool(b))) => (Some(*b), d),
+                _ => (None, &**l),
+            };
+            if let Some(b) = konst {
+                return Ok(match (op, b) {
+                    (BinOp::And, true) | (BinOp::Or, false) => dynamic.clone(),
+                    (BinOp::And, false) => Expr::Lit(Value::Bool(false)),
+                    (BinOp::Or, true) => Expr::Lit(Value::Bool(true)),
+                    _ => unreachable!(),
+                });
+            }
+        }
+        return Ok(folded);
+    }
+    // fully constant: evaluate with an empty environment
+    let regs = crate::env::RegFile::new(prog);
+    struct NoInputs;
+    impl crate::env::InputProvider for NoInputs {
+        fn read_input(
+            &self,
+            _: &Program,
+            _: usize,
+            _: &[Value],
+        ) -> Result<Value> {
+            Err(RuleError::eval("input read in constant expression".to_string()))
+        }
+    }
+    let mut ctx = crate::eval::EvalCtx::new(prog, &regs, &NoInputs, &[]);
+    let v = crate::eval::eval_expr(&mut ctx, &folded)?;
+    Ok(Expr::Lit(v))
+}
+
+/// Domain of a scalar subject expression, when it is simple enough to wire
+/// directly into the table index (references and indexed reads).
+fn subject_domain(prog: &Program, rb: &RuleBase, e: &Expr) -> Option<Domain> {
+    match e {
+        Expr::Ref(Ref::Var(i)) => match prog.vars[*i].elem {
+            crate::value::Type::Scalar(d) => Some(d),
+            _ => None,
+        },
+        Expr::Ref(Ref::Input(i)) => match prog.inputs[*i].elem {
+            crate::value::Type::Scalar(d) => Some(d),
+            _ => None,
+        },
+        Expr::Ref(Ref::Param(i)) => Some(rb.params[*i].dom),
+        Expr::Indexed { target, .. } => match target {
+            IndexedRef::Var(i) => match prog.vars[*i].elem {
+                crate::value::Type::Scalar(d) => Some(d),
+                _ => None,
+            },
+            IndexedRef::Input(i) => match prog.inputs[*i].elem {
+                crate::value::Type::Scalar(d) => Some(d),
+                _ => None,
+            },
+        },
+        _ => None,
+    }
+}
+
+fn is_directable(d: Domain) -> bool {
+    matches!(d, Domain::Sym(_) | Domain::Bool)
+}
+
+/// Collects atoms of an expanded premise into the feature set.
+fn collect_atoms(
+    prog: &Program,
+    rb: &RuleBase,
+    e: &Expr,
+    fs: &mut FeatureSet,
+) -> Result<()> {
+    match e {
+        Expr::Lit(Value::Bool(_)) => Ok(()),
+        Expr::Bin(BinOp::And | BinOp::Or, l, r) => {
+            collect_atoms(prog, rb, l, fs)?;
+            collect_atoms(prog, rb, r, fs)
+        }
+        Expr::Un(UnOp::Not, inner) => collect_atoms(prog, rb, inner, fs),
+        atom => {
+            if fs.atoms.contains_key(atom) {
+                return Ok(());
+            }
+            let entry = classify_atom(prog, rb, atom, fs);
+            fs.atoms.insert(atom.clone(), entry);
+            Ok(())
+        }
+    }
+}
+
+fn classify_atom(
+    prog: &Program,
+    rb: &RuleBase,
+    atom: &Expr,
+    fs: &mut FeatureSet,
+) -> (usize, AtomTest) {
+    match atom {
+        // subject = literal  (either side)
+        Expr::Bin(BinOp::Eq, l, r) => {
+            let (subj, lit) = match (&**l, &**r) {
+                (Expr::Lit(v), s) => (s, Some(*v)),
+                (s, Expr::Lit(v)) => (s, Some(*v)),
+                _ => (&**l, None),
+            };
+            if let Some(lit) = lit {
+                if let Some(d) = subject_domain(prog, rb, subj) {
+                    if is_directable(d) {
+                        let f = fs.direct(prog, subj.clone(), d);
+                        return (f, AtomTest::EqLit(lit));
+                    }
+                }
+            }
+            (fs.predicate(atom.clone()), AtomTest::Bit)
+        }
+        // subject IN literal-set
+        Expr::Bin(BinOp::In, l, r) => {
+            if let Expr::Lit(Value::Set { dom, mask }) = &**r {
+                if let Some(d) = subject_domain(prog, rb, l) {
+                    if is_directable(d) {
+                        let f = fs.direct(prog, (**l).clone(), d);
+                        return (f, AtomTest::InLit(*dom, *mask));
+                    }
+                }
+            }
+            (fs.predicate(atom.clone()), AtomTest::Bit)
+        }
+        // bare boolean subject
+        other => {
+            if let Some(d) = subject_domain(prog, rb, other) {
+                if d == Domain::Bool {
+                    let f = fs.direct(prog, other.clone(), d);
+                    return (f, AtomTest::BoolDirect);
+                }
+            }
+            (fs.predicate(other.clone()), AtomTest::Bit)
+        }
+    }
+}
+
+/// Evaluates an expanded premise under an abstract feature assignment.
+fn abstract_eval(
+    prog: &Program,
+    fs: &FeatureSet,
+    assignment: &[u64],
+    e: &Expr,
+) -> Result<bool> {
+    match e {
+        Expr::Lit(Value::Bool(b)) => Ok(*b),
+        Expr::Bin(BinOp::And, l, r) => Ok(abstract_eval(prog, fs, assignment, l)?
+            && abstract_eval(prog, fs, assignment, r)?),
+        Expr::Bin(BinOp::Or, l, r) => Ok(abstract_eval(prog, fs, assignment, l)?
+            || abstract_eval(prog, fs, assignment, r)?),
+        Expr::Un(UnOp::Not, inner) => Ok(!abstract_eval(prog, fs, assignment, inner)?),
+        atom => {
+            let (fi, test) = fs
+                .atoms
+                .get(atom)
+                .ok_or_else(|| RuleError::eval(format!("unmapped atom {atom:?}")))?;
+            let digit = assignment[*fi];
+            let ss = prog.sym_sizes();
+            Ok(match test {
+                AtomTest::Bit => digit != 0,
+                AtomTest::BoolDirect => digit != 0,
+                AtomTest::EqLit(lit) => {
+                    let dom = match &fs.features[*fi].kind {
+                        FeatureKind::Direct { dom, .. } => *dom,
+                        _ => unreachable!("EqLit on predicate feature"),
+                    };
+                    dom.value_at(digit) == *lit
+                }
+                AtomTest::InLit(set_dom, mask) => {
+                    let dom = match &fs.features[*fi].kind {
+                        FeatureKind::Direct { dom, .. } => *dom,
+                        _ => unreachable!("InLit on predicate feature"),
+                    };
+                    let v = dom.value_at(digit);
+                    set_dom
+                        .ordinal(&v, &ss)
+                        .is_some_and(|k| mask & (1 << k) != 0)
+                }
+            })
+        }
+    }
+}
+
+/// Compiles one rule base to its filled table.
+pub fn compile_rulebase(
+    prog: &Program,
+    rb_idx: usize,
+    opts: &CompileOptions,
+) -> Result<CompiledRuleBase> {
+    let rb = &prog.rulebases[rb_idx];
+    let mut fs = FeatureSet::default();
+    let expanded: Result<Vec<Expr>> = rb
+        .rules
+        .iter()
+        .map(|r| {
+            let e = expand_quantifiers(prog, &r.premise)?;
+            fold_consts(prog, &e)
+        })
+        .collect();
+    let expanded = expanded?;
+    for p in &expanded {
+        collect_atoms(prog, rb, p, &mut fs)?;
+    }
+
+    let entries: u64 = fs
+        .features
+        .iter()
+        .map(|f| f.size)
+        .try_fold(1u64, |a, b| a.checked_mul(b))
+        .ok_or_else(|| RuleError::Compile {
+            rulebase: rb.name.clone(),
+            msg: "feature space overflows u64".to_string(),
+        })?;
+    if entries > opts.max_entries {
+        return Err(RuleError::Compile {
+            rulebase: rb.name.clone(),
+            msg: format!(
+                "feature space has {entries} entries (> {} limit); restructure the rules",
+                opts.max_entries
+            ),
+        });
+    }
+    if rb.rules.len() > u16::MAX as usize - 1 {
+        return Err(RuleError::Compile {
+            rulebase: rb.name.clone(),
+            msg: "too many rules".to_string(),
+        });
+    }
+
+    // fill the table by mixed-radix enumeration of the feature space
+    let radices: Vec<u64> = fs.features.iter().map(|f| f.size).collect();
+    let mut table = vec![0u16; entries as usize];
+    let mut assignment = vec![0u64; radices.len()];
+    for entry in table.iter_mut() {
+        let mut selected = 0u16;
+        for (ri, prem) in expanded.iter().enumerate() {
+            if abstract_eval(prog, &fs, &assignment, prem)? {
+                selected = (ri + 1) as u16;
+                break;
+            }
+        }
+        *entry = selected;
+        // increment mixed-radix counter (first feature = least significant)
+        for (a, r) in assignment.iter_mut().zip(&radices) {
+            *a += 1;
+            if *a < *r {
+                break;
+            }
+            *a = 0;
+        }
+    }
+
+    // width: conclusion selector plus declared return field (documented
+    // convention of the cost model — see cost.rs)
+    let ss = prog.sym_sizes();
+    let sel_bits = ceil_log2(rb.rules.len() as u64 + 1).max(1);
+    let ret_bits = rb.returns.map_or(0, |t| t.width_bits(&ss));
+    let width_bits = sel_bits + ret_bits;
+
+    Ok(CompiledRuleBase {
+        rb: rb_idx,
+        features: fs.features,
+        radices,
+        table,
+        entries,
+        width_bits,
+    })
+}
+
+/// Compiles every rule base of a program.
+pub fn compile(prog: &Program, opts: &CompileOptions) -> Result<CompiledProgram> {
+    let bases: Result<Vec<CompiledRuleBase>> = (0..prog.rulebases.len())
+        .map(|i| compile_rulebase(prog, i, opts))
+        .collect();
+    Ok(CompiledProgram { prog: prog.clone(), bases: bases? })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn direct_features_for_symbols() {
+        let p = parse(
+            "CONSTANT st = {safe, faulty}\n\
+             VARIABLE state IN st INIT safe\n\
+             ON f() RETURNS 0 TO 1\n\
+               IF state = safe THEN RETURN(0);\n\
+               IF state = faulty THEN RETURN(1);\n\
+             END f;",
+        )
+        .unwrap();
+        let c = compile_rulebase(&p, 0, &CompileOptions::default()).unwrap();
+        // one direct feature of size 2 → 2 entries
+        assert_eq!(c.features.len(), 1);
+        assert!(matches!(c.features[0].kind, FeatureKind::Direct { .. }));
+        assert_eq!(c.entries, 2);
+        assert_eq!(c.table, vec![1, 2]); // safe→rule0, faulty→rule1
+    }
+
+    #[test]
+    fn predicate_features_for_int_comparisons() {
+        let p = parse(
+            "VARIABLE n IN 0 TO 7 INIT 0\n\
+             ON f() RETURNS 0 TO 1\n\
+               IF n = 0 THEN RETURN(0);\n\
+               IF n > 2 THEN RETURN(1);\n\
+             END f;",
+        )
+        .unwrap();
+        let c = compile_rulebase(&p, 0, &CompileOptions::default()).unwrap();
+        // two predicate bits → 4 entries
+        assert_eq!(c.features.len(), 2);
+        assert!(c.features.iter().all(|f| matches!(f.kind, FeatureKind::Predicate { .. })));
+        assert_eq!(c.entries, 4);
+    }
+
+    #[test]
+    fn first_rule_wins_conflicts() {
+        let p = parse(
+            "VARIABLE n IN 0 TO 7 INIT 0\n\
+             ON f() RETURNS 0 TO 1\n\
+               IF n > 0 THEN RETURN(0);\n\
+               IF n > 1 THEN RETURN(1);\n\
+             END f;",
+        )
+        .unwrap();
+        let c = compile_rulebase(&p, 0, &CompileOptions::default()).unwrap();
+        // whenever both predicates hold, rule 0 is stored
+        for (i, &e) in c.table.iter().enumerate() {
+            let bits = (i & 1 != 0, i & 2 != 0); // (n>0, n>1)
+            match bits {
+                (true, _) => assert_eq!(e, 1),
+                (false, true) => assert_eq!(e, 2), // unsatisfiable combo, filled anyway
+                (false, false) => assert_eq!(e, 0),
+            }
+        }
+    }
+
+    #[test]
+    fn quantifier_expansion_over_bool_inputs() {
+        let p = parse(
+            "CONSTANT dirs = 0 TO 2\n\
+             INPUT free[dirs] IN bool\n\
+             ON f() RETURNS 0 TO 1\n\
+               IF EXISTS i IN dirs: free(i) THEN RETURN(1);\n\
+               IF TRUE THEN RETURN(0);\n\
+             END f;",
+        )
+        .unwrap();
+        let c = compile_rulebase(&p, 0, &CompileOptions::default()).unwrap();
+        // three direct boolean features (free(0..2)) → 8 entries
+        assert_eq!(c.features.len(), 3);
+        assert_eq!(c.entries, 8);
+        assert_eq!(c.table[0], 2); // no free link → rule 1
+        for e in &c.table[1..] {
+            assert_eq!(*e, 1);
+        }
+    }
+
+    #[test]
+    fn entry_limit_enforced() {
+        let p = parse(
+            "CONSTANT dirs = 0 TO 15\n\
+             INPUT free[dirs] IN bool\n\
+             ON f() RETURNS 0 TO 1\n\
+               IF EXISTS i IN dirs: free(i) THEN RETURN(1);\n\
+             END f;",
+        )
+        .unwrap();
+        let e = compile_rulebase(&p, 0, &CompileOptions { max_entries: 1 << 10 });
+        assert!(matches!(e, Err(RuleError::Compile { .. })));
+    }
+
+    #[test]
+    fn width_accounts_selector_and_return() {
+        let p = parse(
+            "VARIABLE n IN 0 TO 7\n\
+             ON f() RETURNS 0 TO 7\n\
+               IF n = 0 THEN RETURN(1);\n\
+               IF n = 1 THEN RETURN(2);\n\
+               IF n = 2 THEN RETURN(3);\n\
+             END f;",
+        )
+        .unwrap();
+        let c = compile_rulebase(&p, 0, &CompileOptions::default()).unwrap();
+        // selector: ceil(log2(4)) = 2, return: 3 bits
+        assert_eq!(c.width_bits, 5);
+    }
+
+    #[test]
+    fn subst_bound_shifts_outer_binders() {
+        // EXISTS i IN s: EXISTS j IN s: i = j — after substituting i the
+        // inner occurrence Bound(1) must become the literal.
+        let p = parse(
+            "CONSTANT dirs = 0 TO 1\n\
+             ON f() RETURNS 0 TO 1\n\
+               IF EXISTS i IN dirs: EXISTS j IN dirs: i = j THEN RETURN(1);\n\
+             END f;",
+        )
+        .unwrap();
+        let c = compile_rulebase(&p, 0, &CompileOptions::default()).unwrap();
+        // i = j over literal pairs is constant-folded into the premises, so
+        // no features at all → single always-true entry
+        assert_eq!(c.entries, 1);
+        assert_eq!(c.table, vec![1]);
+    }
+}

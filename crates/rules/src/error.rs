@@ -1,0 +1,66 @@
+//! Error types for the rule language pipeline.
+
+use std::fmt;
+
+/// Source position (1-based line/column) attached to diagnostics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct Pos {
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Any error raised while lexing, parsing, resolving, compiling or executing
+/// a rule program.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RuleError {
+    /// Lexical error (bad character, unterminated token).
+    Lex { pos: Pos, msg: String },
+    /// Syntax error.
+    Parse { pos: Pos, msg: String },
+    /// Name-resolution or type error.
+    Resolve { msg: String },
+    /// ARON compilation failure (e.g. feature space too large).
+    Compile { rulebase: String, msg: String },
+    /// Runtime evaluation error (conflicting parallel writes, missing
+    /// input, domain violation).
+    Eval { msg: String },
+}
+
+impl RuleError {
+    /// Convenience constructor for evaluation errors.
+    pub fn eval(msg: impl Into<String>) -> Self {
+        RuleError::Eval { msg: msg.into() }
+    }
+
+    /// Convenience constructor for resolution errors.
+    pub fn resolve(msg: impl Into<String>) -> Self {
+        RuleError::Resolve { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for RuleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuleError::Lex { pos, msg } => write!(f, "lex error at {pos}: {msg}"),
+            RuleError::Parse { pos, msg } => write!(f, "parse error at {pos}: {msg}"),
+            RuleError::Resolve { msg } => write!(f, "resolve error: {msg}"),
+            RuleError::Compile { rulebase, msg } => {
+                write!(f, "compile error in rule base `{rulebase}`: {msg}")
+            }
+            RuleError::Eval { msg } => write!(f, "evaluation error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RuleError {}
+
+/// Result alias used across the crate.
+pub type Result<T> = std::result::Result<T, RuleError>;

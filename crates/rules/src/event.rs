@@ -1,0 +1,271 @@
+//! Event manager — "all actions are controlled and synchronized by an
+//! event manager" (§4).
+//!
+//! A [`Machine`] owns a compiled program and its register file. The host
+//! (the router) fires external events (message arrival, link-state change,
+//! flit completion); rule conclusions may generate further events
+//! (`!event(args)`), which the manager queues and processes until quiescent.
+//! Events whose name matches no rule base are *host events* (e.g.
+//! `send_newmessage` telling the router to emit a control message to a
+//! neighbour) and are handed back to the caller.
+//!
+//! Every rule-base interpretation counts as one **step** — the quantity the
+//! paper's §5 reports as "number of consecutive rule interpretations"
+//! (NAFTA: 1 fault-free to 3 worst case; ROUTE_C: always 2).
+
+use crate::ast::Program;
+use crate::compile::{compile, CompileOptions};
+use crate::env::{InputProvider, RegFile};
+use crate::error::{Result, RuleError};
+use crate::eval::{EventInstance, FireOutcome};
+use crate::interp::CompiledProgram;
+use crate::value::Value;
+use std::collections::VecDeque;
+
+/// Execution statistics of a machine.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MachineStats {
+    /// Total rule-base interpretations performed.
+    pub total_steps: u64,
+    /// Interpretations performed by the most recent [`Machine::fire`] call
+    /// (the paper's per-decision step count).
+    pub last_fire_steps: u32,
+    /// Per-rule-base interpretation counts (indexed like
+    /// `Program::rulebases`).
+    pub per_base: Vec<u64>,
+}
+
+/// Everything a cascaded fire produced.
+#[derive(Clone, Debug, Default)]
+pub struct CascadeOutcome {
+    /// Per-base outcomes, in firing order.
+    pub outcomes: Vec<FireOutcome>,
+    /// Events that escaped to the host.
+    pub host_events: Vec<EventInstance>,
+    /// Total rule interpretations of the cascade.
+    pub steps: u32,
+}
+
+impl CascadeOutcome {
+    /// The value of the last `RETURN` executed anywhere in the cascade.
+    pub fn last_return(&self) -> Option<Value> {
+        self.outcomes.iter().rev().find_map(|o| o.returned)
+    }
+}
+
+/// A running rule machine: compiled program + registers + event queue.
+pub struct Machine {
+    compiled: CompiledProgram,
+    regs: RegFile,
+    queue: VecDeque<EventInstance>,
+    /// Safety budget per external fire: livelock guard for cyclic event
+    /// generation.
+    pub max_internal_events: u32,
+    /// Statistics.
+    pub stats: MachineStats,
+}
+
+impl Machine {
+    /// Compiles `prog` and builds a machine with freshly initialised
+    /// registers.
+    pub fn new(prog: Program, opts: &CompileOptions) -> Result<Self> {
+        let n = prog.rulebases.len();
+        let compiled = compile(&prog, opts)?;
+        let regs = RegFile::new(&compiled.prog);
+        Ok(Machine {
+            compiled,
+            regs,
+            queue: VecDeque::new(),
+            max_internal_events: 10_000,
+            stats: MachineStats { per_base: vec![0; n], ..Default::default() },
+        })
+    }
+
+    /// Wraps an already compiled program.
+    pub fn from_compiled(compiled: CompiledProgram) -> Self {
+        let n = compiled.prog.rulebases.len();
+        let regs = RegFile::new(&compiled.prog);
+        Machine {
+            compiled,
+            regs,
+            queue: VecDeque::new(),
+            max_internal_events: 10_000,
+            stats: MachineStats { per_base: vec![0; n], ..Default::default() },
+        }
+    }
+
+    /// The program.
+    pub fn program(&self) -> &Program {
+        &self.compiled.prog
+    }
+
+    /// The compiled artefact.
+    pub fn compiled(&self) -> &CompiledProgram {
+        &self.compiled
+    }
+
+    /// Register file (read access for the host/information units).
+    pub fn regs(&self) -> &RegFile {
+        &self.regs
+    }
+
+    /// Register file (host-side initialisation, e.g. loading the node's own
+    /// coordinates).
+    pub fn regs_mut(&mut self) -> &mut RegFile {
+        &mut self.regs
+    }
+
+    /// Fires external event `event(args)`, then drains all internally
+    /// generated events. Returns the outcome of the *directly fired* base
+    /// plus every event that escaped to the host.
+    pub fn fire(
+        &mut self,
+        event: &str,
+        args: &[Value],
+        inputs: &dyn InputProvider,
+    ) -> Result<(FireOutcome, Vec<EventInstance>)> {
+        let casc = self.fire_cascade(event, args, inputs)?;
+        let direct = casc.outcomes.into_iter().next().unwrap_or_default();
+        Ok((direct, casc.host_events))
+    }
+
+    /// Like [`Machine::fire`], but returns every rule-base outcome of the
+    /// cascade in firing order — a multi-step routing decision (e.g.
+    /// NAFTA's `incoming_message` → `in_message_ft` → `test_exception`)
+    /// delivers its verdict from the *last* base that returned a value.
+    pub fn fire_cascade(
+        &mut self,
+        event: &str,
+        args: &[Value],
+        inputs: &dyn InputProvider,
+    ) -> Result<CascadeOutcome> {
+        self.stats.last_fire_steps = 0;
+        let mut host_events = Vec::new();
+        let mut outcomes = Vec::new();
+
+        // an event without a rule base becomes a host event inside dispatch
+        if let Some(out) = self.dispatch(event, args, inputs, &mut host_events)? {
+            outcomes.push(out);
+        }
+
+        let mut processed = 0u32;
+        while let Some(ev) = self.queue.pop_front() {
+            processed += 1;
+            if processed > self.max_internal_events {
+                return Err(RuleError::eval(format!(
+                    "event livelock: more than {} internal events from one fire",
+                    self.max_internal_events
+                )));
+            }
+            if let Some(out) = self.dispatch(&ev.event, &ev.args, inputs, &mut host_events)? {
+                outcomes.push(out);
+            }
+        }
+        let steps = self.stats.last_fire_steps;
+        Ok(CascadeOutcome { outcomes, host_events, steps })
+    }
+
+    /// Interprets one event: if a rule base matches, fire it (counting one
+    /// step) and queue its internal events; otherwise report a host event.
+    fn dispatch(
+        &mut self,
+        event: &str,
+        args: &[Value],
+        inputs: &dyn InputProvider,
+        host_events: &mut Vec<EventInstance>,
+    ) -> Result<Option<FireOutcome>> {
+        let Some((idx, _)) = self.compiled.prog.rulebase(event) else {
+            host_events.push(EventInstance { event: event.to_string(), args: args.to_vec() });
+            return Ok(None);
+        };
+        self.stats.total_steps += 1;
+        self.stats.last_fire_steps += 1;
+        self.stats.per_base[idx] += 1;
+        let out = self.compiled.bases[idx].fire(&self.compiled.prog, args, &mut self.regs, inputs)?;
+        for ev in &out.emitted {
+            if self.compiled.prog.rulebase(&ev.event).is_some() {
+                self.queue.push_back(ev.clone());
+            } else {
+                host_events.push(ev.clone());
+            }
+        }
+        Ok(Some(out))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::InputMap;
+    use crate::parser::parse;
+
+    fn int(v: i64) -> Value {
+        Value::Int(v)
+    }
+
+    #[test]
+    fn cascading_internal_events() {
+        // a fires b; b increments a counter and emits a host event
+        let p = parse(
+            "VARIABLE n IN 0 TO 7 INIT 0\n\
+             ON a()\n IF TRUE THEN !b(3);\nEND a;\n\
+             ON b(x IN 0 TO 7)\n IF TRUE THEN n <- x, !notify_host(x);\nEND b;",
+        )
+        .unwrap();
+        let mut m = Machine::new(p, &CompileOptions::default()).unwrap();
+        let (out, host) = m.fire("a", &[], &InputMap::new()).unwrap();
+        assert_eq!(out.rule, Some(0));
+        assert_eq!(m.regs().read(m.program(), 0, &[]).unwrap(), int(3));
+        assert_eq!(host.len(), 1);
+        assert_eq!(host[0].event, "notify_host");
+        assert_eq!(m.stats.last_fire_steps, 2, "a + b = two interpretations");
+    }
+
+    #[test]
+    fn unknown_event_goes_to_host() {
+        let p = parse("VARIABLE n IN 0 TO 1\nON a() IF TRUE THEN n <- 1; END a;").unwrap();
+        let mut m = Machine::new(p, &CompileOptions::default()).unwrap();
+        let (out, host) = m.fire("nothere", &[int(1)], &InputMap::new()).unwrap();
+        assert_eq!(out.rule, None);
+        assert_eq!(host.len(), 1);
+        assert_eq!(host[0].event, "nothere");
+        assert_eq!(m.stats.last_fire_steps, 0);
+    }
+
+    #[test]
+    fn livelock_guard_trips() {
+        let p = parse("ON a() IF TRUE THEN !a(); END a;").unwrap();
+        let mut m = Machine::new(p, &CompileOptions::default()).unwrap();
+        m.max_internal_events = 50;
+        let e = m.fire("a", &[], &InputMap::new());
+        assert!(e.is_err());
+    }
+
+    #[test]
+    fn per_base_step_counts() {
+        let p = parse(
+            "VARIABLE n IN 0 TO 7 INIT 0\n\
+             ON a()\n IF n < 3 THEN n <- n + 1, !a();\nEND a;",
+        )
+        .unwrap();
+        let mut m = Machine::new(p, &CompileOptions::default()).unwrap();
+        let (_, _) = m.fire("a", &[], &InputMap::new()).unwrap();
+        // fires at n=0,1,2 re-emitting, at n=3 premise fails (no emission)
+        assert_eq!(m.stats.per_base[0], 4);
+        assert_eq!(m.stats.total_steps, 4);
+        assert_eq!(m.regs().read(m.program(), 0, &[]).unwrap(), int(3));
+    }
+
+    #[test]
+    fn host_initialises_registers() {
+        let p = parse(
+            "VARIABLE xpos IN 0 TO 15\n\
+             ON q() RETURNS 0 TO 15\n IF TRUE THEN RETURN(xpos);\nEND q;",
+        )
+        .unwrap();
+        let mut m = Machine::new(p.clone(), &CompileOptions::default()).unwrap();
+        m.regs_mut().write(&p, 0, &[], int(7)).unwrap();
+        let (out, _) = m.fire("q", &[], &InputMap::new()).unwrap();
+        assert_eq!(out.returned, Some(int(7)));
+    }
+}

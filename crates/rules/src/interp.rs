@@ -1,0 +1,295 @@
+//! The compiled rule interpreter — software model of Figures 5 and 6.
+//!
+//! One invocation performs the three hardware steps:
+//!
+//! 1. **premise processing** — the FCFBs evaluate the extracted features
+//!    against the current inputs/registers ([`CompiledRuleBase::feature_vector`]);
+//! 2. **RBR-kernel** — a single lookup in the completely filled rule table
+//!    selects the applicable rule;
+//! 3. **conclusion processing** — the selected rule's commands execute
+//!    (shared with the reference evaluator, so compiled and reference
+//!    semantics cannot drift).
+//!
+//! The paper's delay model — "the sum of the delays in the configurable
+//! wiring (negligible), two times the FCFBs and one memory access" — is
+//! captured by [`CompiledRuleBase::DECISION_DELAY_UNITS`], which the
+//! simulator converts into routing-decision cycles.
+
+use crate::ast::Program;
+use crate::compile::{Feature, FeatureKind};
+use crate::env::{InputProvider, RegFile};
+use crate::error::{Result, RuleError};
+use crate::eval::{apply_rule, eval_expr, EvalCtx, FireOutcome};
+use crate::value::Value;
+
+/// One rule base compiled to a filled table.
+#[derive(Clone, Debug)]
+pub struct CompiledRuleBase {
+    /// Index into [`Program::rulebases`].
+    pub rb: usize,
+    /// Extracted features, in index-digit order (first = least significant).
+    pub features: Vec<Feature>,
+    /// Radix of each digit.
+    pub radices: Vec<u64>,
+    /// The filled table: entry = 1 + rule index, 0 = no applicable rule.
+    pub table: Vec<u16>,
+    /// Number of table entries (product of radices).
+    pub entries: u64,
+    /// Modelled entry width in bits (conclusion selector + return field).
+    pub width_bits: u32,
+}
+
+impl CompiledRuleBase {
+    /// Abstract delay of one interpretation in FCFB units: wiring
+    /// (negligible) + 2 × FCFB + 1 memory access (§4.3).
+    pub const DECISION_DELAY_UNITS: u32 = 3;
+
+    /// Total table size in bits (the paper's `entries × width` figure).
+    pub fn table_bits(&self) -> u64 {
+        self.entries * self.width_bits as u64
+    }
+
+    /// Renders the interpreter configuration in the style of the paper's
+    /// Figure 7: which inputs wire directly into the table index, which
+    /// FCFB-computed predicates feed the remaining index bits, and the
+    /// table geometry.
+    pub fn describe(&self, prog: &Program) -> String {
+        use std::fmt::Write as _;
+        let rb = &prog.rulebases[self.rb];
+        let mut s = String::new();
+        let _ = writeln!(s, "rule interpreter configuration for `{}`", rb.name);
+        let _ = writeln!(s, "  index digits (least significant first):");
+        for (i, f) in self.features.iter().enumerate() {
+            match &f.kind {
+                crate::compile::FeatureKind::Direct { subject, dom } => {
+                    let _ = writeln!(
+                        s,
+                        "    [{i}] direct wire   radix {:<3} <- {}",
+                        f.size,
+                        crate::pretty::describe_expr(prog, rb, subject)
+                    );
+                    let _ = dom;
+                }
+                crate::compile::FeatureKind::Predicate { expr } => {
+                    let _ = writeln!(
+                        s,
+                        "    [{i}] FCFB predicate radix 2   <- {}",
+                        crate::pretty::describe_expr(prog, rb, expr)
+                    );
+                }
+            }
+        }
+        let _ = writeln!(
+            s,
+            "  RBR kernel: {} entries x {} bits = {} bits of rule table",
+            self.entries,
+            self.width_bits,
+            self.table_bits()
+        );
+        let _ = writeln!(
+            s,
+            "  conclusion processing: {} rules, shared FCFB pool: {}",
+            rb.rules.len(),
+            crate::fcfb::inventory(prog, rb)
+                .iter()
+                .map(|(k, n)| if *n > 1 { format!("{n} x {k}") } else { k.to_string() })
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        s
+    }
+
+    /// Step 1: computes the feature digits from live inputs/registers.
+    pub fn feature_vector(
+        &self,
+        prog: &Program,
+        params: &[Value],
+        regs: &RegFile,
+        inputs: &dyn InputProvider,
+    ) -> Result<Vec<u64>> {
+        let ss = prog.sym_sizes();
+        let mut ctx = EvalCtx::new(prog, regs, inputs, params);
+        self.features
+            .iter()
+            .map(|f| match &f.kind {
+                FeatureKind::Direct { subject, dom } => {
+                    let v = eval_expr(&mut ctx, subject)?;
+                    dom.ordinal(&v, &ss).ok_or_else(|| {
+                        RuleError::eval(format!(
+                            "direct feature value {v} outside {dom:?}"
+                        ))
+                    })
+                }
+                FeatureKind::Predicate { expr } => {
+                    Ok(u64::from(eval_expr(&mut ctx, expr)?.as_bool()?))
+                }
+            })
+            .collect()
+    }
+
+    /// Step 2: mixed-radix index from the feature digits.
+    pub fn index(&self, digits: &[u64]) -> u64 {
+        let mut idx = 0u64;
+        let mut stride = 1u64;
+        for (d, r) in digits.iter().zip(&self.radices) {
+            idx += d * stride;
+            stride *= r;
+        }
+        idx
+    }
+
+    /// Steps 1+2: which rule applies (None = gap entry / no rule).
+    pub fn select(
+        &self,
+        prog: &Program,
+        params: &[Value],
+        regs: &RegFile,
+        inputs: &dyn InputProvider,
+    ) -> Result<Option<usize>> {
+        let digits = self.feature_vector(prog, params, regs, inputs)?;
+        let e = self.table[self.index(&digits) as usize];
+        Ok((e != 0).then(|| e as usize - 1))
+    }
+
+    /// Full interpretation: premise processing, kernel lookup, conclusion
+    /// processing.
+    pub fn fire(
+        &self,
+        prog: &Program,
+        params: &[Value],
+        regs: &mut RegFile,
+        inputs: &dyn InputProvider,
+    ) -> Result<FireOutcome> {
+        match self.select(prog, params, regs, inputs)? {
+            None => Ok(FireOutcome::default()),
+            Some(rule) => apply_rule(prog, self.rb, rule, params, regs, inputs),
+        }
+    }
+}
+
+/// A fully compiled program.
+#[derive(Clone, Debug)]
+pub struct CompiledProgram {
+    /// The source program (owned so the compiled artefact is self-contained).
+    pub prog: Program,
+    /// One compiled base per rule base, same order.
+    pub bases: Vec<CompiledRuleBase>,
+}
+
+impl CompiledProgram {
+    /// Finds a compiled rule base by name.
+    pub fn base(&self, name: &str) -> Option<&CompiledRuleBase> {
+        let (i, _) = self.prog.rulebase(name)?;
+        Some(&self.bases[i])
+    }
+
+    /// Fires the named rule base once.
+    pub fn fire(
+        &self,
+        name: &str,
+        params: &[Value],
+        regs: &mut RegFile,
+        inputs: &dyn InputProvider,
+    ) -> Result<FireOutcome> {
+        let base = self
+            .base(name)
+            .ok_or_else(|| RuleError::eval(format!("no rule base `{name}`")))?;
+        base.fire(&self.prog, params, regs, inputs)
+    }
+
+    /// Total rule-table bits across all bases.
+    pub fn total_table_bits(&self) -> u64 {
+        self.bases.iter().map(|b| b.table_bits()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::{compile, CompileOptions};
+    use crate::env::InputMap;
+    use crate::eval::fire_reference;
+    use crate::parser::parse;
+
+    fn int(v: i64) -> Value {
+        Value::Int(v)
+    }
+
+    const SRC: &str = "
+CONSTANT st = {safe, warn, faulty}
+CONSTANT dirs = 0 TO 3
+VARIABLE state IN st INIT safe
+VARIABLE hits IN 0 TO 15 INIT 0
+INPUT level[dirs] IN 0 TO 9
+ON classify(d IN dirs) RETURNS 0 TO 2
+  IF state = faulty THEN RETURN(2);
+  IF level(d) > 6 AND state = safe THEN state <- warn, hits <- hits + 1, RETURN(1);
+  IF level(d) > 8 THEN state <- faulty, RETURN(2);
+  IF TRUE THEN RETURN(0);
+END classify;
+";
+
+    #[test]
+    fn compiled_matches_reference_exhaustively() {
+        let p = parse(SRC).unwrap();
+        let c = compile(&p, &CompileOptions::default()).unwrap();
+        // exhaust states × levels × params
+        for state_idx in 0..3u32 {
+            for level in 0..10i64 {
+                for d in 0..4i64 {
+                    let mut regs_a = RegFile::new(&p);
+                    regs_a
+                        .write(&p, 0, &[], Value::Sym { ty: 0, idx: state_idx })
+                        .unwrap();
+                    let mut regs_b = regs_a.clone();
+                    let mut inp = InputMap::new();
+                    inp.set_default(&p, "level", int(0)).unwrap();
+                    inp.set(&p, "level", &[int(d)], int(level)).unwrap();
+
+                    let r = fire_reference(&p, 0, &[int(d)], &mut regs_a, &inp).unwrap();
+                    let k = c.fire("classify", &[int(d)], &mut regs_b, &inp).unwrap();
+                    assert_eq!(r, k, "state={state_idx} level={level} d={d}");
+                    assert_eq!(regs_a, regs_b, "post-state diverged");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn table_geometry() {
+        let p = parse(SRC).unwrap();
+        let c = compile(&p, &CompileOptions::default()).unwrap();
+        let b = &c.bases[0];
+        // features: state (direct, 3) + level(d)>6 + level(d)>8 (2 bits)
+        assert_eq!(b.entries, 12);
+        // selector ceil(log2(5)) = 3 bits + 2-bit return
+        assert_eq!(b.width_bits, 5);
+        assert_eq!(b.table_bits(), 60);
+    }
+
+    #[test]
+    fn gap_entries_are_noops() {
+        let p = parse(
+            "VARIABLE n IN 0 TO 7 INIT 5\n\
+             ON f() RETURNS 0 TO 1\n\
+               IF n = 0 THEN RETURN(0);\n\
+             END f;",
+        )
+        .unwrap();
+        let c = compile(&p, &CompileOptions::default()).unwrap();
+        let mut regs = RegFile::new(&p);
+        let out = c.fire("f", &[], &mut regs, &InputMap::new()).unwrap();
+        assert_eq!(out.rule, None);
+        assert_eq!(out.returned, None);
+    }
+
+    #[test]
+    fn index_is_mixed_radix() {
+        let p = parse(SRC).unwrap();
+        let c = compile(&p, &CompileOptions::default()).unwrap();
+        let b = &c.bases[0];
+        assert_eq!(b.index(&[0, 0, 0]), 0);
+        let last: Vec<u64> = b.radices.iter().map(|r| r - 1).collect();
+        assert_eq!(b.index(&last), b.entries - 1);
+    }
+}

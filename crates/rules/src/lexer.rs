@@ -1,0 +1,292 @@
+//! Hand-written lexer for the rule language.
+
+use crate::error::{Pos, Result, RuleError};
+use crate::token::{Keyword, Spanned, Tok};
+
+/// Tokenizes `src` into a vector ending with [`Tok::Eof`].
+pub fn lex(src: &str) -> Result<Vec<Spanned>> {
+    let mut out = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    macro_rules! push {
+        ($tok:expr, $pos:expr) => {
+            out.push(Spanned { tok: $tok, pos: $pos })
+        };
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let pos = Pos { line, col };
+        match c {
+            ' ' | '\t' | '\r' => {
+                i += 1;
+                col += 1;
+            }
+            '\n' => {
+                i += 1;
+                line += 1;
+                col = 1;
+            }
+            '-' if i + 1 < bytes.len() && bytes[i + 1] == b'-' => {
+                // comment to end of line
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                push!(Tok::LParen, pos);
+                i += 1;
+                col += 1;
+            }
+            ')' => {
+                push!(Tok::RParen, pos);
+                i += 1;
+                col += 1;
+            }
+            '{' => {
+                push!(Tok::LBrace, pos);
+                i += 1;
+                col += 1;
+            }
+            '}' => {
+                push!(Tok::RBrace, pos);
+                i += 1;
+                col += 1;
+            }
+            '[' => {
+                push!(Tok::LBracket, pos);
+                i += 1;
+                col += 1;
+            }
+            ']' => {
+                push!(Tok::RBracket, pos);
+                i += 1;
+                col += 1;
+            }
+            ',' => {
+                push!(Tok::Comma, pos);
+                i += 1;
+                col += 1;
+            }
+            ':' => {
+                push!(Tok::Colon, pos);
+                i += 1;
+                col += 1;
+            }
+            ';' => {
+                push!(Tok::Semi, pos);
+                i += 1;
+                col += 1;
+            }
+            '!' => {
+                push!(Tok::Bang, pos);
+                i += 1;
+                col += 1;
+            }
+            '=' => {
+                push!(Tok::Eq, pos);
+                i += 1;
+                col += 1;
+            }
+            '+' => {
+                push!(Tok::Plus, pos);
+                i += 1;
+                col += 1;
+            }
+            '*' => {
+                push!(Tok::Star, pos);
+                i += 1;
+                col += 1;
+            }
+            '/' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    push!(Tok::Ne, pos);
+                    i += 2;
+                    col += 2;
+                } else {
+                    return Err(RuleError::Lex {
+                        pos,
+                        msg: "expected `/=` (lone `/` is not an operator)".into(),
+                    });
+                }
+            }
+            '<' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'-' {
+                    push!(Tok::Assign, pos);
+                    i += 2;
+                    col += 2;
+                } else if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    push!(Tok::Le, pos);
+                    i += 2;
+                    col += 2;
+                } else {
+                    push!(Tok::Lt, pos);
+                    i += 1;
+                    col += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    push!(Tok::Ge, pos);
+                    i += 2;
+                    col += 2;
+                } else {
+                    push!(Tok::Gt, pos);
+                    i += 1;
+                    col += 1;
+                }
+            }
+            '-' => {
+                push!(Tok::Minus, pos);
+                i += 1;
+                col += 1;
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                col += (i - start) as u32;
+                let v: i64 = text.parse().map_err(|_| RuleError::Lex {
+                    pos,
+                    msg: format!("integer literal `{text}` out of range"),
+                })?;
+                push!(Tok::Int(v), pos);
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                col += (i - start) as u32;
+                match Keyword::from_str(text) {
+                    Some(kw) => push!(Tok::Kw(kw), pos),
+                    None => push!(Tok::Ident(text.to_string()), pos),
+                }
+            }
+            other => {
+                return Err(RuleError::Lex {
+                    pos,
+                    msg: format!("unexpected character `{other}`"),
+                })
+            }
+        }
+    }
+    out.push(Spanned { tok: Tok::Eof, pos: Pos { line, col } });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn lexes_paper_style_rule() {
+        let t = toks("IF xpos<xdes AND ypos=ydes THEN RETURN(east);");
+        assert_eq!(
+            t,
+            vec![
+                Tok::Kw(Keyword::If),
+                Tok::Ident("xpos".into()),
+                Tok::Lt,
+                Tok::Ident("xdes".into()),
+                Tok::Kw(Keyword::And),
+                Tok::Ident("ypos".into()),
+                Tok::Eq,
+                Tok::Ident("ydes".into()),
+                Tok::Kw(Keyword::Then),
+                Tok::Kw(Keyword::Return),
+                Tok::LParen,
+                Tok::Ident("east".into()),
+                Tok::RParen,
+                Tok::Semi,
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let t = toks("-- a comment\nx <- 1 -- trailing\n");
+        assert_eq!(
+            t,
+            vec![Tok::Ident("x".into()), Tok::Assign, Tok::Int(1), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn multi_char_operators() {
+        let t = toks("a /= b <= c >= d <- e");
+        assert_eq!(
+            t,
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Ne,
+                Tok::Ident("b".into()),
+                Tok::Le,
+                Tok::Ident("c".into()),
+                Tok::Ge,
+                Tok::Ident("d".into()),
+                Tok::Assign,
+                Tok::Ident("e".into()),
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn set_literal_and_bang() {
+        let t = toks("{safe, faulty} !send(i)");
+        assert_eq!(
+            t,
+            vec![
+                Tok::LBrace,
+                Tok::Ident("safe".into()),
+                Tok::Comma,
+                Tok::Ident("faulty".into()),
+                Tok::RBrace,
+                Tok::Bang,
+                Tok::Ident("send".into()),
+                Tok::LParen,
+                Tok::Ident("i".into()),
+                Tok::RParen,
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn keywords_are_case_sensitive() {
+        // lowercase `if` is an identifier, matching the paper's uppercase style
+        let t = toks("if IF");
+        assert_eq!(
+            t,
+            vec![Tok::Ident("if".into()), Tok::Kw(Keyword::If), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn positions_track_lines() {
+        let spanned = lex("x\ny").unwrap();
+        assert_eq!(spanned[0].pos.line, 1);
+        assert_eq!(spanned[1].pos.line, 2);
+        assert_eq!(spanned[1].pos.col, 1);
+    }
+
+    #[test]
+    fn bad_character_errors() {
+        assert!(matches!(lex("a ? b"), Err(RuleError::Lex { .. })));
+        assert!(matches!(lex("a / b"), Err(RuleError::Lex { .. })));
+    }
+}

@@ -1,0 +1,159 @@
+//! Tokens of the rule language.
+//!
+//! The surface syntax follows the paper's notation as closely as ASCII
+//! allows: `IF <premise> THEN <conclusion>;`, `ON <event>(<params>)`,
+//! assignment `<-`, event generation `!event(args)`, inequality `/=`,
+//! comments `-- to end of line`.
+
+use crate::error::Pos;
+use std::fmt;
+
+/// Keywords are uppercase in source, mirroring the paper's examples.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Keyword {
+    Constant,
+    Variable,
+    Input,
+    On,
+    End,
+    If,
+    Then,
+    Return,
+    Returns,
+    In,
+    To,
+    Init,
+    Exists,
+    Forall,
+    And,
+    Or,
+    Not,
+    Nft,
+    True,
+    False,
+    SetOf,
+}
+
+impl Keyword {
+    /// Parses an uppercase identifier as a keyword.
+    #[allow(clippy::should_implement_trait)]
+    pub fn from_str(s: &str) -> Option<Keyword> {
+        Some(match s {
+            "CONSTANT" => Keyword::Constant,
+            "VARIABLE" => Keyword::Variable,
+            "INPUT" => Keyword::Input,
+            "ON" => Keyword::On,
+            "END" => Keyword::End,
+            "IF" => Keyword::If,
+            "THEN" => Keyword::Then,
+            "RETURN" => Keyword::Return,
+            "RETURNS" => Keyword::Returns,
+            "IN" => Keyword::In,
+            "TO" => Keyword::To,
+            "INIT" => Keyword::Init,
+            "EXISTS" => Keyword::Exists,
+            "FORALL" => Keyword::Forall,
+            "AND" => Keyword::And,
+            "OR" => Keyword::Or,
+            "NOT" => Keyword::Not,
+            "NFT" => Keyword::Nft,
+            "TRUE" => Keyword::True,
+            "FALSE" => Keyword::False,
+            "SETOF" => Keyword::SetOf,
+            _ => return None,
+        })
+    }
+}
+
+/// A lexical token.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Tok {
+    /// Keyword (uppercase reserved word).
+    Kw(Keyword),
+    /// Identifier (variable, event, symbol name).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `:`
+    Colon,
+    /// `;`
+    Semi,
+    /// `<-` assignment
+    Assign,
+    /// `!` event generation prefix
+    Bang,
+    /// `=`
+    Eq,
+    /// `/=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Kw(k) => write!(f, "{k:?}"),
+            Tok::Ident(s) => write!(f, "`{s}`"),
+            Tok::Int(v) => write!(f, "{v}"),
+            Tok::LParen => write!(f, "("),
+            Tok::RParen => write!(f, ")"),
+            Tok::LBrace => write!(f, "{{"),
+            Tok::RBrace => write!(f, "}}"),
+            Tok::LBracket => write!(f, "["),
+            Tok::RBracket => write!(f, "]"),
+            Tok::Comma => write!(f, ","),
+            Tok::Colon => write!(f, ":"),
+            Tok::Semi => write!(f, ";"),
+            Tok::Assign => write!(f, "<-"),
+            Tok::Bang => write!(f, "!"),
+            Tok::Eq => write!(f, "="),
+            Tok::Ne => write!(f, "/="),
+            Tok::Lt => write!(f, "<"),
+            Tok::Le => write!(f, "<="),
+            Tok::Gt => write!(f, ">"),
+            Tok::Ge => write!(f, ">="),
+            Tok::Plus => write!(f, "+"),
+            Tok::Minus => write!(f, "-"),
+            Tok::Star => write!(f, "*"),
+            Tok::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// A token with its source position.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// Where it starts.
+    pub pos: Pos,
+}

@@ -1,0 +1,205 @@
+//! Property-based tests of the rule-language pipeline: the ARON
+//! compilation and its building blocks are semantics-preserving on
+//! generated programs from a parametric family.
+
+use ftr_rules::compile::{expand_quantifiers, fold_consts};
+use ftr_rules::eval::{eval_expr, EvalCtx};
+use ftr_rules::{
+    compile, fire_reference, parse, CompileOptions, InputMap, RegFile, Value,
+};
+use proptest::prelude::*;
+
+/// Generates a small rule program over a fixed environment: integer
+/// counter, symbol state, bool array, int array — with randomized rule
+/// premises drawn from a grammar of comparisons, membership tests and
+/// quantifiers.
+fn gen_program(premises: &[String], conclusions: &[String]) -> String {
+    let mut rules = String::new();
+    for (p, c) in premises.iter().zip(conclusions) {
+        rules.push_str(&format!("  IF {p} THEN {c};\n"));
+    }
+    format!(
+        "CONSTANT st = {{alpha, beta, gamma}}\n\
+         CONSTANT dirs = 0 TO 3\n\
+         VARIABLE state IN st INIT alpha\n\
+         VARIABLE count IN 0 TO 15 INIT 0\n\
+         VARIABLE flags[dirs] IN bool\n\
+         INPUT level[dirs] IN 0 TO 7\n\
+         INPUT go IN bool\n\
+         ON f(d IN dirs) RETURNS 0 TO 15\n{rules}END f;"
+    )
+}
+
+fn arb_premise() -> impl Strategy<Value = String> {
+    let atom = prop_oneof![
+        Just("state = alpha".to_string()),
+        Just("state = beta".to_string()),
+        Just("state IN {beta, gamma}".to_string()),
+        Just("count = 0".to_string()),
+        Just("count > 3".to_string()),
+        Just("count <= 9".to_string()),
+        Just("go".to_string()),
+        Just("flags(d)".to_string()),
+        Just("level(d) > 2".to_string()),
+        Just("level(d) = 7".to_string()),
+        Just("level(0) < level(1)".to_string()),
+        Just("EXISTS i IN dirs: flags(i)".to_string()),
+        Just("FORALL i IN dirs: level(i) < 6".to_string()),
+        Just("d IN {0, 2}".to_string()),
+        Just("TRUE".to_string()),
+    ];
+    // combine 1-3 atoms with AND / OR / NOT
+    proptest::collection::vec((atom, any::<u8>()), 1..4).prop_map(|parts| {
+        let mut out = String::new();
+        for (i, (a, tag)) in parts.iter().enumerate() {
+            if i > 0 {
+                out.push_str(if tag % 2 == 0 { " AND " } else { " OR " });
+            }
+            if tag % 3 == 0 {
+                out.push_str(&format!("NOT ({a})"));
+            } else {
+                out.push_str(&format!("({a})"));
+            }
+        }
+        out
+    })
+}
+
+fn arb_conclusion() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("RETURN(1)".to_string()),
+        Just("RETURN(d)".to_string()),
+        Just("count <- min(count + 1, 15), RETURN(2)".to_string()),
+        Just("state <- beta, RETURN(3)".to_string()),
+        Just("flags(d) <- TRUE, RETURN(4)".to_string()),
+        Just("state <- latmax(state, beta), RETURN(5)".to_string()),
+        Just("RETURN(min(count, 9))".to_string()),
+    ]
+}
+
+/// A randomized environment for the fixed declarations above.
+fn build_env(
+    prog: &ftr_rules::Program,
+    state_idx: u32,
+    count: i64,
+    flags: [bool; 4],
+    levels: [i64; 4],
+    go: bool,
+) -> (RegFile, InputMap) {
+    let mut regs = RegFile::new(prog);
+    regs.write(prog, 0, &[], Value::Sym { ty: 0, idx: state_idx }).unwrap();
+    regs.write(prog, 1, &[], Value::Int(count)).unwrap();
+    for (i, &f) in flags.iter().enumerate() {
+        regs.write(prog, 2, &[Value::Int(i as i64)], Value::Bool(f)).unwrap();
+    }
+    let mut im = InputMap::new();
+    for (i, &l) in levels.iter().enumerate() {
+        im.set(prog, "level", &[Value::Int(i as i64)], Value::Int(l)).unwrap();
+    }
+    im.set(prog, "go", &[], Value::Bool(go)).unwrap();
+    (regs, im)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The central ARON property: compiled table selection ≡ reference
+    /// first-match semantics, for random programs and random environments.
+    #[test]
+    fn compiled_equals_reference(
+        premises in proptest::collection::vec(arb_premise(), 1..6),
+        conclusions in proptest::collection::vec(arb_conclusion(), 6),
+        state_idx in 0u32..3,
+        count in 0i64..16,
+        flags in any::<[bool; 4]>(),
+        levels in proptest::array::uniform4(0i64..8),
+        go in any::<bool>(),
+        d in 0i64..4,
+    ) {
+        let src = gen_program(&premises, &conclusions[..premises.len()]);
+        let prog = parse(&src).unwrap_or_else(|e| panic!("{e}\n{src}"));
+        let compiled = compile(&prog, &CompileOptions::default())
+            .unwrap_or_else(|e| panic!("{e}\n{src}"));
+
+        let (mut regs_a, im) = build_env(&prog, state_idx, count, flags, levels, go);
+        let mut regs_b = regs_a.clone();
+        let params = [Value::Int(d)];
+
+        let r = fire_reference(&prog, 0, &params, &mut regs_a, &im);
+        let k = compiled.bases[0].fire(&prog, &params, &mut regs_b, &im);
+        match (r, k) {
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(&a, &b, "outcome diverged\n{}", src);
+                prop_assert_eq!(regs_a, regs_b, "state diverged\n{}", src);
+            }
+            (Err(_), Err(_)) => {}
+            (a, b) => prop_assert!(false, "one side errored: {a:?} vs {b:?}\n{src}"),
+        }
+    }
+
+    /// Quantifier expansion and constant folding preserve semantics of the
+    /// premise under every environment.
+    #[test]
+    fn expansion_preserves_semantics(
+        premise in arb_premise(),
+        state_idx in 0u32..3,
+        count in 0i64..16,
+        flags in any::<[bool; 4]>(),
+        levels in proptest::array::uniform4(0i64..8),
+        go in any::<bool>(),
+        d in 0i64..4,
+    ) {
+        let src = gen_program(&[premise], &["RETURN(1)".to_string()]);
+        let prog = parse(&src).unwrap();
+        let e0 = prog.rulebases[0].rules[0].premise.clone();
+        let e1 = expand_quantifiers(&prog, &e0).unwrap();
+        let e2 = fold_consts(&prog, &e1).unwrap();
+
+        let (regs, im) = build_env(&prog, state_idx, count, flags, levels, go);
+        let params = [Value::Int(d)];
+        let mut ctx = EvalCtx::new(&prog, &regs, &im, &params);
+        let v0 = eval_expr(&mut ctx, &e0).unwrap();
+        let mut ctx = EvalCtx::new(&prog, &regs, &im, &params);
+        let v1 = eval_expr(&mut ctx, &e1).unwrap();
+        let mut ctx = EvalCtx::new(&prog, &regs, &im, &params);
+        let v2 = eval_expr(&mut ctx, &e2).unwrap();
+        prop_assert_eq!(v0, v1, "expansion changed semantics\n{}", src);
+        prop_assert_eq!(v1, v2, "folding changed semantics\n{}", src);
+    }
+
+    /// Pretty-printing any generated program round-trips to identical
+    /// compiled tables.
+    #[test]
+    fn pretty_roundtrip_generated(
+        premises in proptest::collection::vec(arb_premise(), 1..5),
+        conclusions in proptest::collection::vec(arb_conclusion(), 5),
+    ) {
+        let src = gen_program(&premises, &conclusions[..premises.len()]);
+        let p1 = parse(&src).unwrap();
+        let printed = ftr_rules::pretty::print_program(&p1);
+        let p2 = parse(&printed).unwrap_or_else(|e| panic!("{e}\n{printed}"));
+        let o = CompileOptions::default();
+        let c1 = compile(&p1, &o).unwrap();
+        let c2 = compile(&p2, &o).unwrap();
+        prop_assert_eq!(&c1.bases[0].table, &c2.bases[0].table, "\n{}", printed);
+    }
+
+    /// Table geometry invariant: entries equals the product of the feature
+    /// radices, and every entry indexes a real rule (or 0).
+    #[test]
+    fn table_geometry(
+        premises in proptest::collection::vec(arb_premise(), 1..6),
+        conclusions in proptest::collection::vec(arb_conclusion(), 6),
+    ) {
+        let src = gen_program(&premises, &conclusions[..premises.len()]);
+        let prog = parse(&src).unwrap();
+        let compiled = compile(&prog, &CompileOptions::default()).unwrap();
+        let b = &compiled.bases[0];
+        let product: u64 = b.radices.iter().product();
+        prop_assert_eq!(b.entries, product.max(1));
+        prop_assert_eq!(b.table.len() as u64, b.entries);
+        for &e in &b.table {
+            prop_assert!((e as usize) <= premises.len());
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! The control-unit interface between the simulator and routing algorithms.
+//!
+//! Mirrors the paper's router architecture (Figure 3): the data path asks
+//! the control unit (rule bases or a native implementation) where to send
+//! each head flit; information units feed link state and load to the
+//! control unit; the control unit exchanges small control messages with
+//! adjacent nodes to propagate fault knowledge (the "wave like" state
+//! propagation of NAFTA/ROUTE_C).
+
+use crate::flit::Header;
+use ftr_topo::{NodeId, PortId, Topology, VcId};
+
+/// What the control unit can observe at its node when deciding — produced
+/// by the router's information units each decision.
+pub struct RouterView<'a> {
+    /// This node.
+    pub node: NodeId,
+    /// Current cycle.
+    pub cycle: u64,
+    /// Per `[port][vc]`: output channel allocatable right now (VC idle and
+    /// at least one credit).
+    pub out_free: &'a [Vec<bool>],
+    /// Per port: amount of data (flits) still assigned to this output —
+    /// NAFTA's adaptivity criterion ("the amount of data that still has to
+    /// pass a node").
+    pub out_load: &'a [u32],
+    /// Per port: the *local* link status (healthy link and live neighbour —
+    /// assumption ii makes this locally observable).
+    pub link_alive: &'a [bool],
+}
+
+impl RouterView<'_> {
+    /// True if any VC of `port` is allocatable.
+    pub fn any_vc_free(&self, port: PortId) -> bool {
+        self.out_free[port.idx()].iter().any(|&b| b)
+    }
+
+    /// First allocatable VC of `port` within a VC range.
+    pub fn free_vc_in(&self, port: PortId, vcs: std::ops::Range<usize>) -> Option<VcId> {
+        self.out_free[port.idx()][vcs.clone()]
+            .iter()
+            .position(|&b| b)
+            .map(|i| VcId((vcs.start + i) as u8))
+    }
+}
+
+/// Routing verdict for a head flit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// Forward through this output channel.
+    Route(PortId, VcId),
+    /// Deliver locally (destination reached).
+    Deliver,
+    /// No usable output right now (contention) — ask again next cycle.
+    Wait,
+    /// The algorithm cannot route this message at all (destination
+    /// unreachable under its fault knowledge) — message is dropped and
+    /// counted, which surfaces condition-3 violations (§2.1).
+    Unroutable,
+}
+
+/// A routing decision plus its cost in rule-interpretation steps.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Decision {
+    /// The verdict.
+    pub verdict: Verdict,
+    /// Consecutive rule interpretations this decision needed — the §5
+    /// overhead metric (NAFTA: 1 fault-free, up to 3 with faults;
+    /// ROUTE_C: always 2).
+    pub steps: u32,
+}
+
+impl Decision {
+    /// Convenience constructor.
+    pub fn new(verdict: Verdict, steps: u32) -> Self {
+        Decision { verdict, steps }
+    }
+}
+
+/// A control-plane message to an adjacent node (fault/state propagation).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ControlMsg {
+    /// Port to send through (must be alive).
+    pub port: PortId,
+    /// Algorithm-defined payload words.
+    pub payload: Vec<i64>,
+}
+
+/// Per-node control unit instantiated by a [`RoutingAlgorithm`].
+pub trait NodeController: Send {
+    /// Routing decision for the head flit currently at the front of input
+    /// `(in_port, in_vc)`; `in_port` is `None` for locally injected
+    /// messages. May update the header (mark misrouted, switch virtual
+    /// network, count hops).
+    fn route(
+        &mut self,
+        view: &RouterView<'_>,
+        header: &mut Header,
+        in_port: Option<PortId>,
+        in_vc: VcId,
+    ) -> Decision;
+
+    /// A control message arrived from the neighbour behind `from`.
+    /// Returns follow-up control messages (state propagation).
+    fn on_control(
+        &mut self,
+        view: &RouterView<'_>,
+        from: PortId,
+        payload: &[i64],
+    ) -> Vec<ControlMsg> {
+        let _ = (view, from, payload);
+        Vec::new()
+    }
+
+    /// The link behind `port` (or the neighbour node) was detected faulty.
+    /// Returns control messages announcing the new state.
+    fn on_fault(&mut self, view: &RouterView<'_>, port: PortId) -> Vec<ControlMsg> {
+        let _ = (view, port);
+        Vec::new()
+    }
+
+    /// Diagnostic snapshot of the controller's fault knowledge (used by
+    /// settling-time experiments); algorithm-defined encoding.
+    fn state_word(&self) -> i64 {
+        0
+    }
+
+    /// The *full routing relation* for a message: every output channel the
+    /// algorithm might select in some load state. Used by the
+    /// channel-dependency deadlock checker and the conditions-1..3
+    /// experiments; the default derives a singleton from [`Self::route`]
+    /// under an all-free view, which is correct only for oblivious
+    /// algorithms — adaptive ones must override.
+    fn relation(
+        &mut self,
+        view: &RouterView<'_>,
+        header: &Header,
+        in_port: Option<PortId>,
+        in_vc: VcId,
+    ) -> Vec<(PortId, VcId)> {
+        let mut h = *header;
+        match self.route(view, &mut h, in_port, in_vc).verdict {
+            Verdict::Route(p, v) => vec![(p, v)],
+            _ => Vec::new(),
+        }
+    }
+}
+
+/// A routing algorithm: a factory for per-node controllers.
+pub trait RoutingAlgorithm: Send + Sync {
+    /// Algorithm name for reports.
+    fn name(&self) -> String;
+
+    /// Number of virtual channels per physical link the algorithm needs
+    /// (NAFTA: 2, ROUTE_C: 5 — the VC count is itself part of the
+    /// fault-tolerance hardware cost, §5).
+    fn num_vcs(&self) -> usize;
+
+    /// Builds the controller for one node.
+    fn controller(&self, topo: &dyn Topology, node: NodeId) -> Box<dyn NodeController>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn view_helpers() {
+        let out_free = vec![vec![false, true], vec![false, false]];
+        let out_load = vec![3, 0];
+        let link_alive = vec![true, false];
+        let v = RouterView {
+            node: NodeId(0),
+            cycle: 0,
+            out_free: &out_free,
+            out_load: &out_load,
+            link_alive: &link_alive,
+        };
+        assert!(v.any_vc_free(PortId(0)));
+        assert!(!v.any_vc_free(PortId(1)));
+        assert_eq!(v.free_vc_in(PortId(0), 0..2), Some(VcId(1)));
+        assert_eq!(v.free_vc_in(PortId(0), 0..1), None);
+    }
+}

@@ -1,0 +1,80 @@
+//! Parallel parameter sweeps.
+//!
+//! Latency-throughput curves need one independent simulation per offered
+//! load; sweeps fan the runs out over OS threads with `crossbeam::scope`
+//! (each simulation is single-threaded and deterministic for its seed, so
+//! results are reproducible regardless of scheduling).
+
+use crossbeam::thread;
+
+/// Runs `job` for every element of `inputs` in parallel (bounded by
+/// `max_threads`) and returns the results in input order.
+pub fn run_sweep<I, O, F>(inputs: Vec<I>, max_threads: usize, job: F) -> Vec<O>
+where
+    I: Send + Sync,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+{
+    let n = inputs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = max_threads.max(1).min(n);
+    let mut results: Vec<Option<O>> = (0..n).map(|_| None).collect();
+
+    // hand out (index, input) pairs through a shared atomic cursor
+    let cursor = std::sync::atomic::AtomicUsize::new(0);
+    let inputs_ref = &inputs;
+    let job_ref = &job;
+    let results_mutex = parking_lot::Mutex::new(&mut results);
+
+    thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|_| loop {
+                let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let out = job_ref(&inputs_ref[i]);
+                results_mutex.lock()[i] = Some(out);
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+
+    results.into_iter().map(|r| r.expect("all slots filled")).collect()
+}
+
+/// Default sweep parallelism: the machine's logical CPU count.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let out = run_sweep((0..100).collect(), 8, |&x: &i32| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn works_single_threaded() {
+        let out = run_sweep(vec![1, 2, 3], 1, |&x: &i32| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<i32> = run_sweep(Vec::<i32>::new(), 4, |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        let out = run_sweep(vec![7], 64, |&x: &i32| x);
+        assert_eq!(out, vec![7]);
+    }
+}

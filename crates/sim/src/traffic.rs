@@ -1,0 +1,193 @@
+//! Synthetic traffic generation.
+//!
+//! Standard interconnection-network workloads: uniform random, transpose,
+//! bit-complement, bit-reversal, hotspot and fixed permutations. Injection
+//! is an open-loop Bernoulli process per node, parameterised in
+//! flits/node/cycle so latency-throughput curves sweep one scalar.
+
+use ftr_topo::{FaultSet, NodeId, Topology};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Destination selection patterns.
+#[derive(Clone, Debug)]
+pub enum Pattern {
+    /// Uniformly random alive destination ≠ source.
+    Uniform,
+    /// Mesh transpose: `(x, y) → (y, x)` (needs a square mesh side).
+    Transpose {
+        /// Mesh side length.
+        side: u32,
+    },
+    /// Bit complement of the node index (`n` bits).
+    BitComplement {
+        /// Address width in bits.
+        bits: u32,
+    },
+    /// Bit reversal of the node index (`n` bits).
+    BitReverse {
+        /// Address width in bits.
+        bits: u32,
+    },
+    /// With probability `frac`, send to `target`; otherwise uniform.
+    Hotspot {
+        /// The hot node.
+        target: NodeId,
+        /// Fraction of traffic aimed at it.
+        frac: f64,
+    },
+}
+
+impl Pattern {
+    /// Picks a destination for `src`, or `None` when the pattern maps the
+    /// source to itself or to a faulty node (assumption iii: no messages to
+    /// faulty destinations).
+    pub fn dest(
+        &self,
+        src: NodeId,
+        topo: &dyn Topology,
+        faults: &FaultSet,
+        rng: &mut StdRng,
+    ) -> Option<NodeId> {
+        let fixed = |d: NodeId| {
+            (d != src && d.idx() < topo.num_nodes() && !faults.node_faulty(d)).then_some(d)
+        };
+        match self {
+            Pattern::Uniform | Pattern::Hotspot { .. } => {
+                if let Pattern::Hotspot { target, frac } = self {
+                    if rng.gen_bool(*frac) {
+                        return fixed(*target);
+                    }
+                }
+                let n = topo.num_nodes();
+                for _ in 0..64 {
+                    let d = NodeId(rng.gen_range(0..n as u32));
+                    if d != src && !faults.node_faulty(d) {
+                        return Some(d);
+                    }
+                }
+                None
+            }
+            Pattern::Transpose { side } => {
+                let (x, y) = (src.0 % side, src.0 / side);
+                fixed(NodeId(x * side + y))
+            }
+            Pattern::BitComplement { bits } => {
+                let mask = (1u32 << bits) - 1;
+                fixed(NodeId(!src.0 & mask))
+            }
+            Pattern::BitReverse { bits } => {
+                let mut v = 0u32;
+                for i in 0..*bits {
+                    if src.0 & (1 << i) != 0 {
+                        v |= 1 << (bits - 1 - i);
+                    }
+                }
+                fixed(NodeId(v))
+            }
+        }
+    }
+}
+
+/// Open-loop Bernoulli traffic source.
+pub struct TrafficSource {
+    /// Destination pattern.
+    pub pattern: Pattern,
+    /// Offered load in flits/node/cycle.
+    pub rate: f64,
+    /// Message length in flits.
+    pub msg_len: u32,
+    rng: StdRng,
+}
+
+impl TrafficSource {
+    /// Creates a source with a deterministic seed.
+    pub fn new(pattern: Pattern, rate: f64, msg_len: u32, seed: u64) -> Self {
+        TrafficSource { pattern, rate, msg_len, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Messages to inject this cycle: `(src, dst, len)` triples.
+    pub fn tick(&mut self, topo: &dyn Topology, faults: &FaultSet) -> Vec<(NodeId, NodeId, u32)> {
+        let p = (self.rate / self.msg_len.max(1) as f64).min(1.0);
+        let mut out = Vec::new();
+        for src in topo.nodes() {
+            if faults.node_faulty(src) {
+                continue;
+            }
+            if self.rng.gen_bool(p) {
+                if let Some(dst) = self.pattern.dest(src, topo, faults, &mut self.rng) {
+                    out.push((src, dst, self.msg_len));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftr_topo::{Hypercube, Mesh2D};
+
+    #[test]
+    fn uniform_avoids_self_and_faulty() {
+        let m = Mesh2D::new(4, 4);
+        let mut f = FaultSet::new();
+        f.fail_node(NodeId(5));
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let d = Pattern::Uniform.dest(NodeId(3), &m, &f, &mut rng).unwrap();
+            assert_ne!(d, NodeId(3));
+            assert_ne!(d, NodeId(5));
+        }
+    }
+
+    #[test]
+    fn transpose_mapping() {
+        let m = Mesh2D::new(4, 4);
+        let f = FaultSet::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = Pattern::Transpose { side: 4 };
+        // (1, 2) = node 9 → (2, 1) = node 6
+        assert_eq!(p.dest(NodeId(9), &m, &f, &mut rng), Some(NodeId(6)));
+        // diagonal maps to itself → None
+        assert_eq!(p.dest(NodeId(5), &m, &f, &mut rng), None);
+    }
+
+    #[test]
+    fn bit_patterns() {
+        let h = Hypercube::new(4);
+        let f = FaultSet::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(
+            Pattern::BitComplement { bits: 4 }.dest(NodeId(0b0011), &h, &f, &mut rng),
+            Some(NodeId(0b1100))
+        );
+        assert_eq!(
+            Pattern::BitReverse { bits: 4 }.dest(NodeId(0b0001), &h, &f, &mut rng),
+            Some(NodeId(0b1000))
+        );
+    }
+
+    #[test]
+    fn hotspot_bias() {
+        let m = Mesh2D::new(4, 4);
+        let f = FaultSet::new();
+        let mut rng = StdRng::seed_from_u64(7);
+        let p = Pattern::Hotspot { target: NodeId(0), frac: 0.9 };
+        let hits = (0..1000)
+            .filter(|_| p.dest(NodeId(9), &m, &f, &mut rng) == Some(NodeId(0)))
+            .count();
+        assert!(hits > 850, "hotspot hit only {hits}/1000");
+    }
+
+    #[test]
+    fn source_rate_scales() {
+        let m = Mesh2D::new(4, 4);
+        let f = FaultSet::new();
+        let mut src = TrafficSource::new(Pattern::Uniform, 0.32, 4, 3);
+        let total: usize = (0..1000).map(|_| src.tick(&m, &f).len()).sum();
+        // expected messages/cycle = 16 nodes * 0.32/4 = 1.28 → ~1280
+        assert!((1000..1600).contains(&total), "got {total}");
+    }
+}

@@ -1,0 +1,185 @@
+//! Property-based tests of the simulator engine: conservation, delivery
+//! and timing invariants under randomized workloads.
+
+use ftr_sim::flit::Header;
+use ftr_sim::routing::{Decision, NodeController, RouterView, RoutingAlgorithm, Verdict};
+use ftr_sim::{Network, Pattern, SimConfig, TrafficSource};
+use ftr_topo::{Mesh2D, NodeId, PortId, Topology, VcId, EAST, NORTH, SOUTH, WEST};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Minimal XY router used as the known-good control algorithm.
+struct Xy(Mesh2D);
+struct XyCtl(Mesh2D);
+
+impl RoutingAlgorithm for Xy {
+    fn name(&self) -> String {
+        "prop-xy".into()
+    }
+    fn num_vcs(&self) -> usize {
+        1
+    }
+    fn controller(&self, _t: &dyn Topology, _n: NodeId) -> Box<dyn NodeController> {
+        Box::new(XyCtl(self.0.clone()))
+    }
+}
+
+impl NodeController for XyCtl {
+    fn route(
+        &mut self,
+        view: &RouterView<'_>,
+        h: &mut Header,
+        _ip: Option<PortId>,
+        _iv: VcId,
+    ) -> Decision {
+        let (dx, dy) = self.0.offset(view.node, h.dst);
+        let p = if dx > 0 {
+            EAST
+        } else if dx < 0 {
+            WEST
+        } else if dy > 0 {
+            NORTH
+        } else if dy < 0 {
+            SOUTH
+        } else {
+            return Decision::new(Verdict::Deliver, 1);
+        };
+        if !view.link_alive[p.idx()] {
+            // oblivious: a dead link on the fixed path is fatal
+            return Decision::new(Verdict::Unroutable, 1);
+        }
+        if view.out_free[p.idx()][0] {
+            Decision::new(Verdict::Route(p, VcId(0)), 1)
+        } else {
+            Decision::new(Verdict::Wait, 1)
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Conservation: after draining, every injected message is accounted
+    /// for exactly once (delivered + killed + unroutable), and the network
+    /// holds no flits.
+    #[test]
+    fn message_conservation(
+        seed in 0u64..1000,
+        rate in 0.01f64..0.3,
+        len in 1u32..8,
+        cycles in 50u64..500,
+    ) {
+        let mesh = Mesh2D::new(4, 4);
+        let mut net = Network::new(Arc::new(mesh.clone()), &Xy(mesh.clone()), SimConfig::default());
+        let mut tf = TrafficSource::new(Pattern::Uniform, rate, len, seed);
+        for _ in 0..cycles {
+            for (s, d, l) in tf.tick(&mesh, net.faults()) {
+                net.send(s, d, l);
+            }
+            net.step();
+        }
+        prop_assert!(net.drain(100_000));
+        let s = &net.stats;
+        prop_assert_eq!(
+            s.injected_msgs,
+            s.delivered_msgs + s.killed_msgs + s.unroutable_msgs
+        );
+        prop_assert_eq!(s.killed_msgs, 0, "no faults, no kills");
+        prop_assert_eq!(net.in_flight(), 0);
+    }
+
+    /// Latency lower bound: a message can never be delivered faster than
+    /// hops + serialization (len - 1) cycles.
+    #[test]
+    fn latency_lower_bound(seed in 0u64..1000, len in 1u32..6) {
+        let mesh = Mesh2D::new(5, 5);
+        let mut net = Network::new(Arc::new(mesh.clone()), &Xy(mesh.clone()), SimConfig::default());
+        net.set_measuring(true);
+        let src = NodeId(seed as u32 % 25);
+        let dst = NodeId((seed as u32 + 7) % 25);
+        prop_assume!(src != dst);
+        net.send(src, dst, len);
+        prop_assert!(net.drain(10_000));
+        let hops = mesh.min_distance(src, dst) as u64;
+        prop_assert!(
+            net.stats.latency.min >= hops + len as u64 - 1,
+            "latency {} < {} hops + {} flits",
+            net.stats.latency.min, hops, len
+        );
+        prop_assert_eq!(net.stats.hops.max, hops, "XY is minimal");
+    }
+
+    /// Dynamic faults never wedge the engine: whatever is ripped is
+    /// counted, the rest drains (XY marks blocked messages unroutable).
+    #[test]
+    fn dynamic_faults_keep_engine_consistent(
+        seed in 0u64..500,
+        fault_cycle in 10u64..200,
+        fx in 0u32..4, fy in 0u32..4,
+        dir in 0u8..4,
+    ) {
+        let mesh = Mesh2D::new(4, 4);
+        let mut net = Network::new(Arc::new(mesh.clone()), &Xy(mesh.clone()), SimConfig::default());
+        let mut tf = TrafficSource::new(Pattern::Uniform, 0.15, 4, seed);
+        for c in 0..400u64 {
+            if c == fault_cycle {
+                net.inject_link_fault(mesh.node_at(fx, fy), PortId(dir));
+            }
+            for (s, d, l) in tf.tick(&mesh, net.faults()) {
+                net.send(s, d, l);
+            }
+            net.step();
+        }
+        net.drain(100_000);
+        let s = &net.stats;
+        prop_assert_eq!(
+            s.injected_msgs,
+            s.delivered_msgs + s.killed_msgs + s.unroutable_msgs
+        );
+        prop_assert_eq!(net.in_flight(), 0);
+        prop_assert!(!s.deadlock, "XY cannot deadlock");
+    }
+
+    /// Decision latency scales base latency linearly: each extra cycle per
+    /// step adds exactly one cycle per routed hop on an idle network.
+    #[test]
+    fn decision_latency_scaling(steps in 1u32..4, hops in 1u32..6) {
+        let mesh = Mesh2D::new(7, 1);
+        let src = NodeId(0);
+        let dst = NodeId(hops);
+        let mut lat = Vec::new();
+        for cps in [1u32, steps] {
+            let cfg = SimConfig { decision_cycles_per_step: cps, ..Default::default() };
+            let mut net = Network::new(Arc::new(mesh.clone()), &Xy(mesh.clone()), cfg);
+            net.set_measuring(true);
+            net.send(src, dst, 2);
+            prop_assert!(net.drain(10_000));
+            lat.push(net.stats.latency.min);
+        }
+        // `hops` routing decisions on the path, each slowed by (steps-1)
+        prop_assert_eq!(lat[1] - lat[0], ((steps - 1) * hops) as u64);
+    }
+
+    /// Throughput accounting is consistent with the measured flit count.
+    #[test]
+    fn throughput_consistency(rate in 0.02f64..0.2, seed in 0u64..200) {
+        let mesh = Mesh2D::new(4, 4);
+        let mut net = Network::new(Arc::new(mesh.clone()), &Xy(mesh.clone()), SimConfig::default());
+        let mut tf = TrafficSource::new(Pattern::Uniform, rate, 4, seed);
+        net.set_measuring(true);
+        net.add_measured_cycles(300);
+        for _ in 0..300 {
+            for (s, d, l) in tf.tick(&mesh, net.faults()) {
+                net.send(s, d, l);
+            }
+            net.step();
+        }
+        net.set_measuring(false);
+        prop_assert!(net.drain(50_000));
+        let s = &net.stats;
+        let expect = s.measured_flits as f64 / (300.0 * 16.0);
+        prop_assert!((s.throughput() - expect).abs() < 1e-12);
+        // accepted throughput can exceed offered only by rounding noise
+        prop_assert!(s.throughput() <= rate * 1.8 + 0.05);
+    }
+}

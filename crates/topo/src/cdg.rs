@@ -1,0 +1,316 @@
+//! Channel-dependency-graph deadlock analysis (Dally & Seitz \[DaS87\]).
+//!
+//! The paper's §3 "Deadlock Avoidance" discussion builds on the classic
+//! result that a wormhole routing algorithm is deadlock-free if the directed
+//! graph whose vertices are virtual channels and whose edges are the
+//! "message holds c1 and requests c2" dependencies is acyclic. This module
+//! constructs that graph for an arbitrary routing relation and fault set and
+//! looks for cycles, which lets the test-suite *prove* (by exhaustion over
+//! destinations) that the turn-model virtual networks of NARA/NAFTA and the
+//! phase scheme of ROUTE_C are deadlock-free, and that naive fully-adaptive
+//! routing on a single channel is not.
+
+use crate::faults::FaultSet;
+use crate::ids::{NodeId, PortId, VcId};
+use crate::Topology;
+use std::collections::{BTreeSet, VecDeque};
+
+/// A directed virtual channel: the channel leaving `node` through `port` on
+/// virtual lane `vc`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Channel {
+    /// Upstream endpoint.
+    pub node: NodeId,
+    /// Port at `node` through which the channel leaves.
+    pub port: PortId,
+    /// Virtual lane index.
+    pub vc: VcId,
+}
+
+/// The routing relation handed to [`ChannelDependencyGraph::build`].
+///
+/// Arguments: current node, the channel the (head) flit occupies on arrival
+/// (`None` for freshly injected messages; the `PortId` is the *input* port at
+/// the current node), and the destination. Returns every output channel the
+/// algorithm may select in *some* network state — supply the full relation,
+/// not one choice, otherwise the acyclicity check proves nothing.
+pub type RoutingRelation<'a> =
+    dyn Fn(NodeId, Option<(PortId, VcId)>, NodeId) -> Vec<(PortId, VcId)> + 'a;
+
+/// The channel dependency graph of a routing relation on a faulty network.
+pub struct ChannelDependencyGraph {
+    num_vcs: usize,
+    degree: usize,
+    /// Adjacency: edges[c] = set of channels that c may wait on.
+    edges: Vec<BTreeSet<u32>>,
+    /// Channels actually reachable by some message.
+    used: Vec<bool>,
+}
+
+impl ChannelDependencyGraph {
+    fn chan_index(&self, c: Channel) -> usize {
+        (c.node.idx() * self.degree + c.port.idx()) * self.num_vcs + c.vc.idx()
+    }
+
+    fn chan_from_index(&self, i: usize) -> Channel {
+        let vc = i % self.num_vcs;
+        let rest = i / self.num_vcs;
+        Channel {
+            node: NodeId((rest / self.degree) as u32),
+            port: PortId((rest % self.degree) as u8),
+            vc: VcId(vc as u8),
+        }
+    }
+
+    /// Builds the dependency graph by walking every (source, destination)
+    /// message through the routing relation, recording which channel each
+    /// held channel can wait for.
+    pub fn build(
+        topo: &dyn Topology,
+        faults: &FaultSet,
+        num_vcs: usize,
+        routing: &RoutingRelation<'_>,
+    ) -> Self {
+        let degree = topo.degree();
+        let n_chan = topo.num_nodes() * degree * num_vcs;
+        let mut g = ChannelDependencyGraph {
+            num_vcs,
+            degree,
+            edges: vec![BTreeSet::new(); n_chan],
+            used: vec![false; n_chan],
+        };
+
+        for dst in topo.nodes() {
+            if faults.node_faulty(dst) {
+                continue;
+            }
+            // BFS over "channel states" for this destination. A state is a
+            // held channel; successors are the channels requested next.
+            let mut seen = vec![false; n_chan];
+            let mut queue: VecDeque<Channel> = VecDeque::new();
+
+            // Injection: any alive source may request its first channel.
+            for src in topo.nodes() {
+                if src == dst || faults.node_faulty(src) {
+                    continue;
+                }
+                for (p, vc) in routing(src, None, dst) {
+                    if !faults.link_usable(topo, src, p) {
+                        continue;
+                    }
+                    let c = Channel { node: src, port: p, vc };
+                    let ci = g.chan_index(c);
+                    g.used[ci] = true;
+                    if !seen[ci] {
+                        seen[ci] = true;
+                        queue.push_back(c);
+                    }
+                }
+            }
+
+            while let Some(c) = queue.pop_front() {
+                let here = match topo.neighbor(c.node, c.port) {
+                    Some(m) => m,
+                    None => continue,
+                };
+                if here == dst {
+                    continue; // message drains, no further dependency
+                }
+                let in_port = topo
+                    .port_towards(here, c.node)
+                    .expect("channel endpoint is adjacent");
+                let ci = g.chan_index(c);
+                for (p, vc) in routing(here, Some((in_port, c.vc)), dst) {
+                    if !faults.link_usable(topo, here, p) {
+                        continue;
+                    }
+                    let next = Channel { node: here, port: p, vc };
+                    let ni = g.chan_index(next);
+                    g.edges[ci].insert(ni as u32);
+                    g.used[ni] = true;
+                    if !seen[ni] {
+                        seen[ni] = true;
+                        queue.push_back(next);
+                    }
+                }
+            }
+        }
+        g
+    }
+
+    /// Number of dependency edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.iter().map(|s| s.len()).sum()
+    }
+
+    /// Number of channels any message can occupy.
+    pub fn num_used_channels(&self) -> usize {
+        self.used.iter().filter(|&&u| u).count()
+    }
+
+    /// True if the dependency graph contains a cycle (⇒ deadlock possible).
+    pub fn has_cycle(&self) -> bool {
+        self.find_cycle().is_some()
+    }
+
+    /// Returns one dependency cycle for diagnostics, or `None` if acyclic.
+    pub fn find_cycle(&self) -> Option<Vec<Channel>> {
+        const WHITE: u8 = 0;
+        const GRAY: u8 = 1;
+        const BLACK: u8 = 2;
+        let n = self.edges.len();
+        let mut color = vec![WHITE; n];
+        let mut parent: Vec<u32> = vec![u32::MAX; n];
+
+        for start in 0..n {
+            if color[start] != WHITE || !self.used[start] {
+                continue;
+            }
+            // Iterative DFS with explicit stack of (node, neighbour iterator
+            // position); BTreeSet iteration is restarted via skipping.
+            let mut stack: Vec<(usize, Vec<u32>, usize)> = Vec::new();
+            let neigh: Vec<u32> = self.edges[start].iter().copied().collect();
+            color[start] = GRAY;
+            stack.push((start, neigh, 0));
+            while let Some((u, neigh, pos)) = stack.last_mut() {
+                if *pos < neigh.len() {
+                    let v = neigh[*pos] as usize;
+                    *pos += 1;
+                    match color[v] {
+                        WHITE => {
+                            parent[v] = *u as u32;
+                            color[v] = GRAY;
+                            let nn: Vec<u32> = self.edges[v].iter().copied().collect();
+                            stack.push((v, nn, 0));
+                        }
+                        GRAY => {
+                            // found a back edge u -> v: reconstruct cycle
+                            let mut cyc = vec![self.chan_from_index(v)];
+                            let mut cur = *u;
+                            while cur != v {
+                                cyc.push(self.chan_from_index(cur));
+                                cur = parent[cur] as usize;
+                            }
+                            cyc.reverse();
+                            return Some(cyc);
+                        }
+                        _ => {}
+                    }
+                } else {
+                    color[*u] = BLACK;
+                    stack.pop();
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::type_complexity)] // test relation closures spell out the full signature
+mod tests {
+    use super::*;
+    use crate::mesh::{Mesh2D, EAST, NORTH, SOUTH, WEST};
+    
+
+    /// XY dimension-order routing on one VC: provably deadlock-free.
+    fn xy(m: &Mesh2D) -> impl Fn(NodeId, Option<(PortId, VcId)>, NodeId) -> Vec<(PortId, VcId)> + '_ {
+        move |cur, _in, dst| {
+            let (dx, dy) = m.offset(cur, dst);
+            let p = if dx > 0 {
+                EAST
+            } else if dx < 0 {
+                WEST
+            } else if dy > 0 {
+                NORTH
+            } else if dy < 0 {
+                SOUTH
+            } else {
+                return vec![];
+            };
+            vec![(p, VcId(0))]
+        }
+    }
+
+    /// Fully adaptive minimal on one VC: has cyclic dependencies.
+    fn fully_adaptive(
+        m: &Mesh2D,
+    ) -> impl Fn(NodeId, Option<(PortId, VcId)>, NodeId) -> Vec<(PortId, VcId)> + '_ {
+        move |cur, _in, dst| {
+            m.minimal_directions(cur, dst)
+                .into_iter()
+                .map(|p| (p, VcId(0)))
+                .collect()
+        }
+    }
+
+    #[test]
+    fn xy_routing_is_acyclic() {
+        let m = Mesh2D::new(4, 4);
+        let f = FaultSet::new();
+        let g = ChannelDependencyGraph::build(&m, &f, 1, &xy(&m));
+        assert!(!g.has_cycle(), "XY routing must be deadlock-free");
+        assert!(g.num_used_channels() > 0);
+    }
+
+    #[test]
+    fn unrestricted_adaptive_has_cycle() {
+        let m = Mesh2D::new(3, 3);
+        let f = FaultSet::new();
+        let g = ChannelDependencyGraph::build(&m, &f, 1, &fully_adaptive(&m));
+        let cyc = g.find_cycle().expect("minimal adaptive on 1 VC deadlocks");
+        assert!(cyc.len() >= 4, "mesh cycles have length >= 4, got {cyc:?}");
+    }
+
+    #[test]
+    fn west_first_turn_model_is_acyclic() {
+        // West-first: go west first (all the way), afterwards never turn west.
+        let m = Mesh2D::new(4, 4);
+        let f = FaultSet::new();
+        let wf = |cur: NodeId, _in: Option<(PortId, VcId)>, dst: NodeId| {
+            let (dx, dy) = m.offset(cur, dst);
+            if dx < 0 {
+                return vec![(WEST, VcId(0))];
+            }
+            let mut out = vec![];
+            if dx > 0 {
+                out.push((EAST, VcId(0)));
+            }
+            if dy > 0 {
+                out.push((NORTH, VcId(0)));
+            }
+            if dy < 0 {
+                out.push((SOUTH, VcId(0)));
+            }
+            out
+        };
+        let g = ChannelDependencyGraph::build(&m, &f, 1, &wf);
+        assert!(!g.has_cycle(), "west-first turn model is deadlock-free");
+    }
+
+    #[test]
+    fn faults_remove_channels() {
+        let m = Mesh2D::new(4, 4);
+        let mut f = FaultSet::new();
+        let g0 = ChannelDependencyGraph::build(&m, &f, 1, &xy(&m));
+        f.fail_link(&m, m.node_at(1, 1), EAST);
+        let g1 = ChannelDependencyGraph::build(&m, &f, 1, &xy(&m));
+        assert!(g1.num_used_channels() < g0.num_used_channels());
+    }
+
+    #[test]
+    fn cycle_report_is_a_real_cycle() {
+        let m = Mesh2D::new(3, 3);
+        let f = FaultSet::new();
+        let g = ChannelDependencyGraph::build(&m, &f, 1, &fully_adaptive(&m));
+        let cyc = g.find_cycle().unwrap();
+        // every consecutive pair (and the wrap pair) must be an edge
+        for i in 0..cyc.len() {
+            let a = cyc[i];
+            let b = cyc[(i + 1) % cyc.len()];
+            let ai = g.chan_index(a);
+            let bi = g.chan_index(b);
+            assert!(g.edges[ai].contains(&(bi as u32)), "{a:?} -> {b:?} missing");
+        }
+    }
+}

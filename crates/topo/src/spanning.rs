@@ -1,0 +1,291 @@
+//! The spanning-tree strawman router of §2.1.
+//!
+//! "1. Compute a spanning tree for the network graph every time new faults
+//! occur. 2. Route messages by only using edges of the tree." The paper uses
+//! it to motivate why real fault-tolerant routing algorithms are needed: the
+//! tree "uses only a small fraction of the network links in most cases" and
+//! "the shortest ways (minimal paths) between two nodes are nearly never
+//! taken". [`SpanningTree::link_fraction`] and
+//! [`SpanningTree::minimal_fraction`] quantify exactly that for experiment
+//! E11.
+
+use crate::faults::FaultSet;
+use crate::graph;
+use crate::ids::{LinkId, NodeId};
+use crate::Topology;
+use std::collections::VecDeque;
+
+/// A BFS spanning tree over the healthy part of the network, rooted at the
+/// lowest-numbered alive node of the root's component.
+#[derive(Clone, Debug)]
+pub struct SpanningTree {
+    root: NodeId,
+    /// Parent of each node, `None` for the root and for unreachable/faulty
+    /// nodes.
+    parent: Vec<Option<NodeId>>,
+    /// Depth of each node, `u32::MAX` if not in the tree.
+    depth: Vec<u32>,
+}
+
+impl SpanningTree {
+    /// Builds the tree by BFS from `root` over usable links.
+    pub fn build(topo: &dyn Topology, faults: &FaultSet, root: NodeId) -> Self {
+        let n = topo.num_nodes();
+        let mut parent = vec![None; n];
+        let mut depth = vec![u32::MAX; n];
+        if !faults.node_faulty(root) {
+            depth[root.idx()] = 0;
+            let mut q = VecDeque::new();
+            q.push_back(root);
+            while let Some(u) = q.pop_front() {
+                for p in topo.ports() {
+                    if !faults.link_usable(topo, u, p) {
+                        continue;
+                    }
+                    let v = topo.neighbor(u, p).expect("usable link has endpoint");
+                    if depth[v.idx()] == u32::MAX {
+                        depth[v.idx()] = depth[u.idx()] + 1;
+                        parent[v.idx()] = Some(u);
+                        q.push_back(v);
+                    }
+                }
+            }
+        }
+        SpanningTree { root, parent, depth }
+    }
+
+    /// The root node.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// True if `n` is part of the tree.
+    pub fn contains(&self, n: NodeId) -> bool {
+        self.depth[n.idx()] != u32::MAX
+    }
+
+    /// Parent of `n`, if any.
+    pub fn parent(&self, n: NodeId) -> Option<NodeId> {
+        self.parent[n.idx()]
+    }
+
+    /// Depth of `n` in the tree (`None` if not contained).
+    pub fn depth(&self, n: NodeId) -> Option<u32> {
+        let d = self.depth[n.idx()];
+        (d != u32::MAX).then_some(d)
+    }
+
+    /// Path from `n` up to the root.
+    fn path_to_root(&self, n: NodeId) -> Vec<NodeId> {
+        let mut path = vec![n];
+        let mut cur = n;
+        while let Some(p) = self.parent[cur.idx()] {
+            path.push(p);
+            cur = p;
+        }
+        path
+    }
+
+    /// The unique tree path between two nodes (via their lowest common
+    /// ancestor), or `None` if either is outside the tree.
+    pub fn tree_path(&self, a: NodeId, b: NodeId) -> Option<Vec<NodeId>> {
+        if !self.contains(a) || !self.contains(b) {
+            return None;
+        }
+        let up_a = self.path_to_root(a);
+        let up_b = self.path_to_root(b);
+        // find LCA: deepest common suffix element
+        let mut i = up_a.len();
+        let mut j = up_b.len();
+        while i > 0 && j > 0 && up_a[i - 1] == up_b[j - 1] {
+            i -= 1;
+            j -= 1;
+        }
+        // up_a[..=i] is a -> lca, up_b[..j] reversed is lca-child -> b
+        let mut path = up_a[..=i.min(up_a.len() - 1)].to_vec();
+        // ensure lca present exactly once
+        if i == up_a.len() {
+            // a is the lca itself; path currently a..a
+            path = vec![a];
+        }
+        for k in (0..j).rev() {
+            path.push(up_b[k]);
+        }
+        Some(path)
+    }
+
+    /// Next hop from `cur` towards `dst` along the tree, or `None` if
+    /// `cur == dst` or either is outside the tree.
+    pub fn next_hop(&self, cur: NodeId, dst: NodeId) -> Option<NodeId> {
+        if cur == dst {
+            return None;
+        }
+        let path = self.tree_path(cur, dst)?;
+        path.get(1).copied()
+    }
+
+    /// Tree edges as canonical link ids.
+    pub fn tree_links(&self, topo: &dyn Topology) -> Vec<LinkId> {
+        let mut out = Vec::new();
+        for n in topo.nodes() {
+            if let Some(p) = self.parent[n.idx()] {
+                let port = topo.port_towards(n, p).expect("parent is adjacent");
+                out.push(topo.link(n, port).expect("parent link exists"));
+            }
+        }
+        out
+    }
+
+    /// Fraction of *healthy* links that the tree uses (§2.1: "only a small
+    /// fraction of the network links").
+    pub fn link_fraction(&self, topo: &dyn Topology, faults: &FaultSet) -> f64 {
+        let healthy = topo
+            .links()
+            .iter()
+            .filter(|l| faults.link_usable(topo, l.node, l.port))
+            .count();
+        if healthy == 0 {
+            return 0.0;
+        }
+        self.tree_links(topo).len() as f64 / healthy as f64
+    }
+
+    /// Fraction of ordered alive node pairs whose tree path is minimal in
+    /// the *faulty* network ("the shortest ways ... are nearly never taken").
+    pub fn minimal_fraction(&self, topo: &dyn Topology, faults: &FaultSet) -> f64 {
+        let mut total = 0u64;
+        let mut minimal = 0u64;
+        for a in topo.nodes() {
+            if !self.contains(a) {
+                continue;
+            }
+            let dist = graph::bfs_distances(topo, faults, a);
+            for b in topo.nodes() {
+                if a == b || !self.contains(b) {
+                    continue;
+                }
+                total += 1;
+                let tree_len = self.tree_path(a, b).expect("both in tree").len() as u32 - 1;
+                if tree_len == dist[b.idx()] {
+                    minimal += 1;
+                }
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            minimal as f64 / total as f64
+        }
+    }
+
+    /// Average tree-path dilation over alive pairs: tree length / shortest
+    /// length in the faulty network.
+    pub fn average_dilation(&self, topo: &dyn Topology, faults: &FaultSet) -> f64 {
+        let mut total = 0u64;
+        let mut sum = 0.0f64;
+        for a in topo.nodes() {
+            if !self.contains(a) {
+                continue;
+            }
+            let dist = graph::bfs_distances(topo, faults, a);
+            for b in topo.nodes() {
+                if a == b || !self.contains(b) || dist[b.idx()] == graph::UNREACHABLE {
+                    continue;
+                }
+                let tree_len = self.tree_path(a, b).expect("both in tree").len() as u32 - 1;
+                sum += tree_len as f64 / dist[b.idx()].max(1) as f64;
+                total += 1;
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            sum / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mesh::Mesh2D;
+
+    #[test]
+    fn tree_spans_connected_mesh() {
+        let m = Mesh2D::new(4, 4);
+        let t = SpanningTree::build(&m, &FaultSet::new(), NodeId(0));
+        for n in m.nodes() {
+            assert!(t.contains(n));
+        }
+        assert_eq!(t.tree_links(&m).len(), m.num_nodes() - 1);
+    }
+
+    #[test]
+    fn tree_path_endpoints_and_adjacency() {
+        let m = Mesh2D::new(5, 5);
+        let t = SpanningTree::build(&m, &FaultSet::new(), NodeId(0));
+        let a = m.node_at(4, 0);
+        let b = m.node_at(0, 4);
+        let path = t.tree_path(a, b).unwrap();
+        assert_eq!(*path.first().unwrap(), a);
+        assert_eq!(*path.last().unwrap(), b);
+        for w in path.windows(2) {
+            assert!(m.port_towards(w[0], w[1]).is_some(), "path steps adjacent");
+        }
+        // no repeated nodes on a tree path
+        let mut sorted: Vec<_> = path.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), path.len());
+    }
+
+    #[test]
+    fn next_hop_walks_to_destination() {
+        let m = Mesh2D::new(4, 4);
+        let t = SpanningTree::build(&m, &FaultSet::new(), NodeId(0));
+        let dst = m.node_at(3, 3);
+        let mut cur = m.node_at(0, 3);
+        let mut hops = 0;
+        while cur != dst {
+            cur = t.next_hop(cur, dst).expect("progress");
+            hops += 1;
+            assert!(hops <= 32, "next_hop loops");
+        }
+    }
+
+    #[test]
+    fn tree_avoids_faults() {
+        let m = Mesh2D::new(5, 5);
+        let mut f = FaultSet::new();
+        f.inject_random_links(&m, 6, true, 11);
+        let t = SpanningTree::build(&m, &f, NodeId(0));
+        for l in t.tree_links(&m) {
+            assert!(f.link_usable(&m, l.node, l.port));
+        }
+    }
+
+    #[test]
+    fn tree_uses_small_link_fraction() {
+        let m = Mesh2D::new(8, 8);
+        let f = FaultSet::new();
+        let t = SpanningTree::build(&m, &f, NodeId(0));
+        // 63 tree links out of 112 mesh links
+        let frac = t.link_fraction(&m, &f);
+        assert!((frac - 63.0 / 112.0).abs() < 1e-9);
+        // and most pairs are NOT routed minimally
+        let minimal = t.minimal_fraction(&m, &f);
+        assert!(minimal < 0.8, "tree should miss many minimal paths: {minimal}");
+        assert!(t.average_dilation(&m, &f) > 1.0);
+    }
+
+    #[test]
+    fn unreachable_node_not_in_tree() {
+        let m = Mesh2D::new(3, 1);
+        let mut f = FaultSet::new();
+        f.fail_link(&m, m.node_at(1, 0), crate::mesh::EAST);
+        let t = SpanningTree::build(&m, &f, NodeId(0));
+        assert!(t.contains(m.node_at(1, 0)));
+        assert!(!t.contains(m.node_at(2, 0)));
+        assert_eq!(t.tree_path(NodeId(0), m.node_at(2, 0)), None);
+    }
+}

@@ -1,0 +1,37 @@
+//! The hardware cost report for every shipped configuration — the §5
+//! evaluation as a one-shot overview: table bits, FCFB demands, register
+//! bits, and the fault-tolerance overhead split.
+//!
+//! ```text
+//! cargo run --example hardware_report
+//! ```
+
+use ftrouter::core::{registry, HardwareReport};
+
+fn main() {
+    println!("Hardware cost of the shipped router configurations");
+    println!("(entries x width = rule-table RAM; nft = non-fault-tolerant subset)\n");
+
+    for name in registry::list_configurations() {
+        let cfg = registry::configuration(name).expect("shipped configs compile");
+        println!("================ {} ================\n", name);
+        println!("{}", cfg.cost.to_markdown());
+        let r = HardwareReport::of(&cfg);
+        if r.nft_table_bits > 0 && r.nft_table_bits < r.table_bits {
+            println!(
+                "fault-tolerance overhead: {} table bits ({:.2}x), {} register bits\n",
+                r.ft_table_overhead(),
+                r.ft_table_factor(),
+                r.ft_only_register_bits,
+            );
+        } else {
+            println!("(no fault-tolerance split: single-purpose program)\n");
+        }
+    }
+
+    println!("Paper reference points:");
+    println!("  NAFTA   — Table 1: 11 rule bases; 159 register bits, 47 FT-only");
+    println!("  ROUTE_C — Table 2: 4 rule bases, 2960 table bits (d=6, a=2),");
+    println!("            15d+2·log d+3 register bits, five virtual channels");
+    println!("\nSee EXPERIMENTS.md for the full paper-vs-measured comparison.");
+}
