@@ -14,11 +14,11 @@ pub fn max_hops(num_nodes: usize) -> u32 {
 /// Among `candidates`, picks the output with the lowest assigned load
 /// (NAFTA's adaptivity criterion: prefer the port with the least data still
 /// to pass). Ties break to the earliest candidate.
-pub fn least_loaded(view: &RouterView<'_>, candidates: &[(PortId, VcId)]) -> Option<(PortId, VcId)> {
-    candidates
-        .iter()
-        .copied()
-        .min_by_key(|(p, _)| (view.out_load[p.idx()], p.idx()))
+pub fn least_loaded(
+    view: &RouterView<'_>,
+    candidates: &[(PortId, VcId)],
+) -> Option<(PortId, VcId)> {
+    candidates.iter().copied().min_by_key(|(p, _)| (view.out_load[p.idx()], p.idx()))
 }
 
 /// Filters `(port, vc)` candidates down to those currently allocatable.
@@ -59,11 +59,7 @@ mod tests {
         let load = vec![0, 0];
         let alive = vec![true, false];
         let v = view(&free, &load, &alive);
-        let cands = [
-            (PortId(0), VcId(0)),
-            (PortId(0), VcId(1)),
-            (PortId(1), VcId(0)),
-        ];
+        let cands = [(PortId(0), VcId(0)), (PortId(0), VcId(1)), (PortId(1), VcId(0))];
         assert_eq!(allocatable(&v, &cands), vec![(PortId(0), VcId(0))]);
     }
 

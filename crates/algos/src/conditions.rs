@@ -15,9 +15,7 @@
 use ftr_sim::flit::{Header, MessageId};
 use ftr_sim::routing::RoutingAlgorithm;
 use ftr_sim::{Network, SimConfig};
-use ftr_topo::{
-    cdg::ChannelDependencyGraph, graph, FaultSet, NodeId, PortId, Topology, VcId,
-};
+use ftr_topo::{cdg::ChannelDependencyGraph, graph, FaultSet, NodeId, PortId, Topology, VcId};
 use std::cell::RefCell;
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
@@ -31,8 +29,7 @@ fn prepared_network<T: Topology + Clone + 'static>(
 ) -> Network {
     let mut net = Network::new(Arc::new(topo.clone()), algo, SimConfig::default());
     net.apply_fault_set(faults);
-    net.settle_control(1_000_000)
-        .expect("control plane must settle");
+    net.settle_control(1_000_000).expect("control plane must settle");
     net
 }
 
@@ -168,8 +165,7 @@ pub fn check_conditions<T: Topology + Clone + 'static>(
                         let Some(nb) = topo.neighbor(st.node, p) else { continue };
                         let progress = topo.min_distance(nb, dst) + 1
                             == topo.min_distance(st.node, dst)
-                            && topo.min_distance(src, nb)
-                                == topo.min_distance(src, st.node) + 1;
+                            && topo.min_distance(src, nb) == topo.min_distance(src, st.node) + 1;
                         if progress && !outs.iter().any(|(op, _)| *op == p) {
                             cond1_full = false;
                         }

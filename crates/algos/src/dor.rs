@@ -51,7 +51,10 @@ impl RoutingAlgorithm for XyRouting {
     }
 
     fn controller(&self, _topo: &dyn Topology, _node: NodeId) -> Box<dyn NodeController> {
-        Box::new(XyController { mesh: self.mesh.clone(), hop_limit: max_hops(self.mesh.num_nodes()) })
+        Box::new(XyController {
+            mesh: self.mesh.clone(),
+            hop_limit: max_hops(self.mesh.num_nodes()),
+        })
     }
 }
 
@@ -278,10 +281,7 @@ pub struct KAryDor {
 impl KAryDor {
     /// Creates DOR for a k-ary n-cube. Panics on wrap-around cubes.
     pub fn new(cube: ftr_topo::KAryNCube) -> Self {
-        assert!(
-            !cube.wraps(),
-            "plain dimension-order routing deadlocks on wrap-around links"
-        );
+        assert!(!cube.wraps(), "plain dimension-order routing deadlocks on wrap-around links");
         KAryDor { cube }
     }
 

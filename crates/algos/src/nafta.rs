@@ -33,7 +33,9 @@
 use crate::common::{allocatable, least_loaded, max_hops};
 use crate::nara::{required_vnet, VNET_NO_NORTH, VNET_NO_SOUTH};
 use ftr_sim::flit::Header;
-use ftr_sim::routing::{ControlMsg, Decision, NodeController, RouterView, RoutingAlgorithm, Verdict};
+use ftr_sim::routing::{
+    ControlMsg, Decision, NodeController, RouterView, RoutingAlgorithm, Verdict,
+};
 use ftr_topo::{Mesh2D, NodeId, PortId, Topology, VcId, EAST, NORTH, SOUTH, WEST};
 
 /// Control-message tags.
@@ -150,10 +152,7 @@ impl NaftaController {
     fn dir_blocked(&self, d: PortId, dst: NodeId) -> bool {
         match self.mesh.neighbor(self.node, d) {
             None => true,
-            Some(nb) => {
-                self.link_dead[d.idx()]
-                    || (self.neighbor_unsafe[d.idx()] && nb != dst)
-            }
+            Some(nb) => self.link_dead[d.idx()] || (self.neighbor_unsafe[d.idx()] && nb != dst),
         }
     }
 
@@ -189,13 +188,8 @@ impl NaftaController {
         let de_to_west = i64::from(self.col_fault() && self.dead_end_east());
         let de_to_east = i64::from(self.col_fault() && self.dead_end_west());
 
-        let dead_mask: i64 = self
-            .link_dead
-            .iter()
-            .enumerate()
-            .filter(|(_, &b)| b)
-            .map(|(i, _)| 1i64 << i)
-            .sum();
+        let dead_mask: i64 =
+            self.link_dead.iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| 1i64 << i).sum();
         let plan: [(PortId, i64, usize, i64); 12] = [
             (EAST, TAG_DEACT, 0, deact),
             (WEST, TAG_DEACT, 0, deact),
@@ -321,11 +315,8 @@ impl NaftaController {
         let (dx, dy) = self.mesh.offset(self.node, dst);
         let allowed = self.allowed_dirs(vnet, in_port, in_vc, dx, dy);
         let minimal = self.mesh.minimal_directions(self.node, dst);
-        let allowed_min: Vec<PortId> = minimal
-            .iter()
-            .copied()
-            .filter(|d| allowed.contains(d))
-            .collect();
+        let allowed_min: Vec<PortId> =
+            minimal.iter().copied().filter(|d| allowed.contains(d)).collect();
         let open_min: Vec<PortId> = allowed_min
             .iter()
             .copied()
@@ -350,13 +341,9 @@ impl NaftaController {
         // in network 0 a north escape is always recoverable (one-way
         // switch); in network 1 a south escape past the destination row is
         // not, so prefer horizontal escapes unless south still helps
-        let vertical_first =
-            vnet == VNET_NO_SOUTH || dy < 0;
-        let prefs: Vec<PortId> = if vertical_first {
-            vec![vertical, h1, h2]
-        } else {
-            vec![h1, h2, vertical]
-        };
+        let vertical_first = vnet == VNET_NO_SOUTH || dy < 0;
+        let prefs: Vec<PortId> =
+            if vertical_first { vec![vertical, h1, h2] } else { vec![h1, h2, vertical] };
         let opts: Vec<PortId> = prefs
             .into_iter()
             .filter(|d| allowed.contains(d))
@@ -478,11 +465,10 @@ impl NodeController for NaftaController {
         let (tag, val) = (payload[0], payload[1] != 0);
         // TAG_LINKS carries a bitmask, handled below with the raw payload
         match tag {
-            TAG_DEACT
-                if val => {
-                    self.neighbor_unsafe[from.idx()] = true;
-                    self.update_deactivation();
-                }
+            TAG_DEACT if val => {
+                self.neighbor_unsafe[from.idx()] = true;
+                self.update_deactivation();
+            }
             TAG_COLFAULT => {
                 // from NORTH = information about the column segment above
                 if from == NORTH {
@@ -491,14 +477,12 @@ impl NodeController for NaftaController {
                     self.col_seg[1] |= val;
                 }
             }
-            TAG_DEADEND_E
-                if from == EAST => {
-                    self.de_in[0] |= val;
-                }
-            TAG_DEADEND_W
-                if from == WEST => {
-                    self.de_in[1] |= val;
-                }
+            TAG_DEADEND_E if from == EAST => {
+                self.de_in[0] |= val;
+            }
+            TAG_DEADEND_W if from == WEST => {
+                self.de_in[1] |= val;
+            }
             TAG_LINKS => {
                 self.nb_dead[from.idx()] |= payload[1] as u8;
             }
@@ -597,15 +581,7 @@ mod tests {
         // two deactivating nodes in a row merge into a block: (1,2) and
         // (2,2) each lose their north and south links
         let mesh = Mesh2D::new(5, 5);
-        let net = net_with(
-            &mesh,
-            &[
-                (1, 2, NORTH),
-                (1, 2, SOUTH),
-                (2, 2, NORTH),
-                (2, 2, SOUTH),
-            ],
-        );
+        let net = net_with(&mesh, &[(1, 2, NORTH), (1, 2, SOUTH), (2, 2, NORTH), (2, 2, SOUTH)]);
         assert_eq!(net.controller(mesh.node_at(1, 2)).state_word() & 1, 1);
         assert_eq!(net.controller(mesh.node_at(2, 2)).state_word() & 1, 1);
         // (0,2) now sees a dead-ended east neighbour? it has one unusable
@@ -640,11 +616,7 @@ mod tests {
             let mut faults = FaultSet::new();
             faults.inject_random_links(&mesh, 4, true, seed);
             let g = crate::conditions::build_cdg(&mesh, &algo, &faults);
-            assert!(
-                !g.has_cycle(),
-                "seed {seed}: cycle {:?}",
-                g.find_cycle()
-            );
+            assert!(!g.has_cycle(), "seed {seed}: cycle {:?}", g.find_cycle());
         }
     }
 
@@ -666,15 +638,9 @@ mod tests {
         faults.inject_random_links(&mesh, 3, true, 13);
         let rep = crate::conditions::check_conditions(&mesh, &algo, &faults, None);
         // condition 2 should hold for the overwhelming majority
-        assert!(
-            ConditionsReport::ratio(rep.cond2_ok, rep.cond2_pairs) > 0.9,
-            "{rep:?}"
-        );
+        assert!(ConditionsReport::ratio(rep.cond2_ok, rep.cond2_pairs) > 0.9, "{rep:?}");
         // condition 3 may be violated (convex completion) but rarely here
-        assert!(
-            ConditionsReport::ratio(rep.cond3_ok, rep.cond3_pairs) > 0.85,
-            "{rep:?}"
-        );
+        assert!(ConditionsReport::ratio(rep.cond3_ok, rep.cond3_pairs) > 0.85, "{rep:?}");
         use crate::conditions::ConditionsReport;
     }
 
@@ -718,7 +684,16 @@ mod tests {
             net.step();
         }
         let drained = net.drain(30_000);
-        assert!(drained, "in_flight={} deadlock={} delivered={} killed={} unroutable={}\n{}", net.in_flight(), net.stats.deadlock, net.stats.delivered_msgs, net.stats.killed_msgs, net.stats.unroutable_msgs, net.dump_occupancy());
+        assert!(
+            drained,
+            "in_flight={} deadlock={} delivered={} killed={} unroutable={}\n{}",
+            net.in_flight(),
+            net.stats.deadlock,
+            net.stats.delivered_msgs,
+            net.stats.killed_msgs,
+            net.stats.unroutable_msgs,
+            net.dump_occupancy()
+        );
         assert!(!net.stats.deadlock);
         // ripped worms are bounded (a handful at the fault instant)
         assert!(net.stats.killed_msgs < 20, "killed {}", net.stats.killed_msgs);

@@ -138,11 +138,7 @@ impl NodeController for NhController {
         }
         let avail = allocatable(view, &cands);
         if let Some((p, v)) = least_loaded(view, &avail) {
-            if !self
-                .mesh
-                .minimal_directions(view.node, h.dst)
-                .contains(&p)
-            {
+            if !self.mesh.minimal_directions(view.node, h.dst).contains(&p) {
                 h.misrouted = true;
             }
             Decision::new(Verdict::Route(p, v), 1)

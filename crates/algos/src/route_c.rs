@@ -24,7 +24,9 @@
 
 use crate::common::{allocatable, least_loaded, max_hops};
 use ftr_sim::flit::Header;
-use ftr_sim::routing::{ControlMsg, Decision, NodeController, RouterView, RoutingAlgorithm, Verdict};
+use ftr_sim::routing::{
+    ControlMsg, Decision, NodeController, RouterView, RoutingAlgorithm, Verdict,
+};
 use ftr_topo::{Hypercube, NodeId, PortId, Topology, VcId};
 
 /// ROUTE_C node safety states, ordered as the update lattice.
@@ -81,7 +83,11 @@ impl RouteC {
 
 impl RoutingAlgorithm for RouteC {
     fn name(&self) -> String {
-        if self.stripped { "route_c_nft".into() } else { "route_c".into() }
+        if self.stripped {
+            "route_c_nft".into()
+        } else {
+            "route_c".into()
+        }
     }
 
     fn num_vcs(&self) -> usize {
@@ -124,8 +130,11 @@ impl RouteCController {
     fn update_state(&mut self) -> Vec<ControlMsg> {
         let dim = self.cube.dim() as usize;
         let bad = (0..dim)
-            .filter(|&d| self.link_dead[d] || self.neighbor_state[d].is_unsafe()
-                || self.neighbor_state[d] == SafetyState::Faulty)
+            .filter(|&d| {
+                self.link_dead[d]
+                    || self.neighbor_state[d].is_unsafe()
+                    || self.neighbor_state[d] == SafetyState::Faulty
+            })
             .count();
         let mut computed = SafetyState::Safe;
         if self.link_dead.iter().any(|&b| b) {
@@ -163,11 +172,8 @@ impl RouteCController {
             .filter(|i| diff & (1 << i) != 0 && self.node.0 & (1 << i) != 0)
             .map(|i| PortId(i as u8))
             .collect();
-        let (minimal, phase) = if !increasing.is_empty() {
-            (increasing, 0u8)
-        } else {
-            (decreasing, 1u8)
-        };
+        let (minimal, phase) =
+            if !increasing.is_empty() { (increasing, 0u8) } else { (decreasing, 1u8) };
         let usable = |p: &PortId| -> bool {
             if self.link_dead[p.idx()] {
                 return false;
@@ -192,10 +198,7 @@ impl RouteCController {
             .filter(usable)
             .collect();
         mis.extend(
-            (0..dim)
-                .map(|i| PortId(i as u8))
-                .filter(|p| diff & (1 << p.idx()) == 0)
-                .filter(usable),
+            (0..dim).map(|i| PortId(i as u8)).filter(|p| diff & (1 << p.idx()) == 0).filter(usable),
         );
         (mis, phase, true)
     }
@@ -233,10 +236,8 @@ impl NodeController for RouteCController {
             return Decision::new(Verdict::Unroutable, steps);
         }
         let vcr = self.vc_range(phase, misroute);
-        let cand: Vec<(PortId, VcId)> = ports
-            .iter()
-            .flat_map(|&p| vcr.clone().map(move |v| (p, VcId(v as u8))))
-            .collect();
+        let cand: Vec<(PortId, VcId)> =
+            ports.iter().flat_map(|&p| vcr.clone().map(move |v| (p, VcId(v as u8)))).collect();
         let avail = allocatable(view, &cand);
         // misrouting follows decide_dir's preference order (minimal dims of
         // the other phase first); normal routing balances load

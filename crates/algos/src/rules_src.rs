@@ -56,8 +56,7 @@ mod tests {
     fn all_programs_compile() {
         for (name, src) in all() {
             let p = parse_program(src).unwrap();
-            compile(&p, &CompileOptions::default())
-                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            compile(&p, &CompileOptions::default()).unwrap_or_else(|e| panic!("{name}: {e}"));
         }
     }
 
@@ -86,12 +85,8 @@ mod tests {
     #[test]
     fn nafta_nft_subset_matches_paper() {
         let p = parse_program(NAFTA).unwrap();
-        let nft: Vec<&str> = p
-            .rulebases
-            .iter()
-            .filter(|r| r.nft)
-            .map(|r| r.name.as_str())
-            .collect();
+        let nft: Vec<&str> =
+            p.rulebases.iter().filter(|r| r.nft).map(|r| r.name.as_str()).collect();
         assert_eq!(
             nft,
             vec![
@@ -110,12 +105,8 @@ mod tests {
         let p = parse_program(ROUTE_C).unwrap();
         let names: Vec<&str> = p.rulebases.iter().map(|r| r.name.as_str()).collect();
         assert_eq!(names, vec!["decide_dir", "decide_vc", "update_state", "adaptivity"]);
-        let nft: Vec<&str> = p
-            .rulebases
-            .iter()
-            .filter(|r| r.nft)
-            .map(|r| r.name.as_str())
-            .collect();
+        let nft: Vec<&str> =
+            p.rulebases.iter().filter(|r| r.nft).map(|r| r.name.as_str()).collect();
         assert_eq!(nft, vec!["decide_dir", "adaptivity"], "the (*) column of Table 2");
     }
 }

@@ -13,7 +13,9 @@
 
 use crate::common::max_hops;
 use ftr_sim::flit::Header;
-use ftr_sim::routing::{ControlMsg, Decision, NodeController, RouterView, RoutingAlgorithm, Verdict};
+use ftr_sim::routing::{
+    ControlMsg, Decision, NodeController, RouterView, RoutingAlgorithm, Verdict,
+};
 use ftr_topo::spanning::SpanningTree;
 use ftr_topo::{FaultSet, NodeId, PortId, Topology, VcId};
 use parking_lot::Mutex;
@@ -127,11 +129,7 @@ impl<T: Topology + Clone + 'static> NodeController for TreeController<T> {
         let mut shared = self.shared.lock();
         shared.faults.fail_link(&self.topo, self.node, port);
         // pick the lowest alive root
-        let root = self
-            .topo
-            .nodes()
-            .find(|&n| !shared.faults.node_faulty(n))
-            .unwrap_or(NodeId(0));
+        let root = self.topo.nodes().find(|&n| !shared.faults.node_faulty(n)).unwrap_or(NodeId(0));
         let faults = shared.faults.clone();
         shared.tree = SpanningTree::build(&self.topo, &faults, root);
         Vec::new()

@@ -125,10 +125,7 @@ mod tests {
         // destination to the west: oblivious west
         assert_eq!(WestFirst::options(&m, m.node_at(3, 0), m.node_at(0, 2)), vec![WEST]);
         // north-east: adaptive between E and N
-        assert_eq!(
-            WestFirst::options(&m, m.node_at(0, 0), m.node_at(2, 2)),
-            vec![EAST, NORTH]
-        );
+        assert_eq!(WestFirst::options(&m, m.node_at(0, 0), m.node_at(2, 2)), vec![EAST, NORTH]);
         // due south
         assert_eq!(WestFirst::options(&m, m.node_at(1, 3), m.node_at(1, 0)), vec![SOUTH]);
     }

@@ -1,0 +1,179 @@
+//! `ftr-lint` — static analysis CLI for rule programs.
+//!
+//! ```text
+//! ftr-lint [OPTIONS] [FILE.rules ...]
+//!
+//!   --builtin          also lint the five shipped programs (xy,
+//!                      west_first, nafta, route_c, route_c_nft)
+//!   --deadlock SPEC    additionally run the CDG deadlock verifier on
+//!                      each program; SPEC is mesh:WxH or cube:D
+//!   --mode MODE        mesh virtual-channel discipline: single | nara
+//!                      (default: single)
+//!   --max-faults N     verify all link-fault sets up to size N
+//!                      (default: 0, fault-free only)
+//!   --max-sets N       cap on enumerated fault scenarios (default: 512,
+//!                      deterministically sampled beyond that)
+//!   --verbose          also print note-level findings (intentional
+//!                      rule-language idioms: order-resolved conflicts,
+//!                      host-read registers, gaps in non-returning bases)
+//!
+//! exit status: 0 clean, 1 findings at error severity or a dependency
+//! cycle, 2 usage/parse/compile failure
+//! ```
+
+use ftr_analyze::{analyze_source, verify_cube, verify_mesh, MeshVcMode, Severity};
+use std::process::ExitCode;
+
+struct Options {
+    files: Vec<String>,
+    builtin: bool,
+    deadlock: Option<String>,
+    mode: MeshVcMode,
+    max_faults: usize,
+    max_sets: usize,
+    verbose: bool,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: ftr-lint [--builtin] [--deadlock mesh:WxH|cube:D] [--mode single|nara] \
+         [--max-faults N] [--max-sets N] [--verbose] [FILE.rules ...]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Result<Options, ExitCode> {
+    let mut opts = Options {
+        files: Vec::new(),
+        builtin: false,
+        deadlock: None,
+        mode: MeshVcMode::SingleVc,
+        max_faults: 0,
+        max_sets: 512,
+        verbose: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--builtin" => opts.builtin = true,
+            "--deadlock" => opts.deadlock = Some(args.next().ok_or_else(usage)?),
+            "--mode" => {
+                opts.mode = match args.next().as_deref() {
+                    Some("single") => MeshVcMode::SingleVc,
+                    Some("nara") => MeshVcMode::NaraPair,
+                    _ => return Err(usage()),
+                }
+            }
+            "--max-faults" => {
+                opts.max_faults = args.next().and_then(|v| v.parse().ok()).ok_or_else(usage)?
+            }
+            "--max-sets" => {
+                opts.max_sets = args.next().and_then(|v| v.parse().ok()).ok_or_else(usage)?
+            }
+            "--verbose" | "-v" => opts.verbose = true,
+            "--help" | "-h" => return Err(usage()),
+            _ if a.starts_with('-') => return Err(usage()),
+            _ => opts.files.push(a),
+        }
+    }
+    if opts.files.is_empty() && !opts.builtin {
+        return Err(usage());
+    }
+    Ok(opts)
+}
+
+/// `mesh:4x4` → Mesh verification, `cube:4` → hypercube verification.
+fn run_deadlock(
+    spec: &str,
+    name: &str,
+    analysis: &ftr_analyze::Analysis,
+    opts: &Options,
+) -> Result<bool, ExitCode> {
+    let report = if let Some(wh) = spec.strip_prefix("mesh:") {
+        let (w, h) = wh.split_once('x').ok_or_else(usage)?;
+        let (w, h): (u32, u32) = (w.parse().map_err(|_| usage())?, h.parse().map_err(|_| usage())?);
+        if w == 0 || h == 0 {
+            eprintln!("ftr-lint: mesh dimensions must be positive: {spec}");
+            return Err(ExitCode::from(2));
+        }
+        verify_mesh(name, &analysis.compiled, w, h, opts.mode, opts.max_faults, opts.max_sets)
+    } else if let Some(d) = spec.strip_prefix("cube:") {
+        let d: u32 = d.parse().map_err(|_| usage())?;
+        // the direction/free masks in the program lift are u8 bit sets
+        if !(1..=8).contains(&d) {
+            eprintln!("ftr-lint: cube dimension must be in 1..=8: {spec}");
+            return Err(ExitCode::from(2));
+        }
+        verify_cube(name, &analysis.compiled, d, opts.max_faults, opts.max_sets)
+    } else {
+        return Err(usage());
+    };
+    println!("{}", report.summary());
+    Ok(report.verified())
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(code) => return code,
+    };
+
+    let mut programs: Vec<(String, String)> = Vec::new();
+    if opts.builtin {
+        for (name, src) in ftr_algos::rules_src::all() {
+            programs.push((name.to_string(), src.to_string()));
+        }
+    }
+    for f in &opts.files {
+        match std::fs::read_to_string(f) {
+            Ok(src) => {
+                let name = std::path::Path::new(f)
+                    .file_stem()
+                    .and_then(|s| s.to_str())
+                    .unwrap_or(f)
+                    .to_string();
+                programs.push((name, src));
+            }
+            Err(e) => {
+                eprintln!("ftr-lint: cannot read {f}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let mut worst = Severity::Note;
+    let mut any_finding = false;
+    let mut all_verified = true;
+    for (name, src) in &programs {
+        let analysis = match analyze_source(name, src) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("ftr-lint: {name}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        for d in &analysis.diagnostics {
+            if d.severity > Severity::Note || opts.verbose {
+                println!("{d}");
+                any_finding = true;
+            }
+            if d.severity > worst {
+                worst = d.severity;
+            }
+        }
+        if let Some(spec) = &opts.deadlock {
+            match run_deadlock(spec, name, &analysis, &opts) {
+                Ok(ok) => all_verified &= ok,
+                Err(code) => return code,
+            }
+        }
+    }
+    if !any_finding {
+        println!("ftr-lint: {} program(s), no findings", programs.len());
+    }
+    if worst >= Severity::Error || !all_verified {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,28 @@
+//! Static analysis for fault-tolerant-router rule programs.
+//!
+//! Two layers, matching the two ways a rule base can be wrong:
+//!
+//! * **Layer 1 — the linter** ([`lints`]): rule-base diagnostics computed
+//!   over the AST and the compiled ARON tables (§4.3) — unreachable and
+//!   shadowed rules, conflicting conclusions that source order resolves
+//!   silently, gap-coverage reports, domain violations, unused
+//!   variables/registers — as structured [`Diagnostic`]s with source
+//!   spans and stable `FTRnnn` lint codes.
+//! * **Layer 2 — the deadlock verifier** ([`deadlock`]): lifts a compiled
+//!   program into the full routing relation expected by
+//!   `ftr_topo::cdg` and proves channel-dependency-graph acyclicity by
+//!   exhaustion over destinations and enumerated fault sets, reporting a
+//!   concrete cycle witness on failure.
+//!
+//! The `ftr-lint` binary exposes both layers on the command line.
+
+pub mod deadlock;
+pub mod diag;
+pub mod lints;
+
+pub use deadlock::{
+    verify_cube, verify_mesh, CubeProgramLift, CycleWitness, DeadlockReport, MeshProgramLift,
+    MeshVcMode,
+};
+pub use diag::{Diagnostic, LintCode, Severity};
+pub use lints::{analyze_compiled, analyze_source, Analysis};

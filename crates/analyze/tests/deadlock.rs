@@ -1,0 +1,78 @@
+//! The CDG deadlock verifier over compiled rule programs: the shipped
+//! deterministic/turn-model/NAFTA programs must verify, and the naive
+//! fully-adaptive baseline must produce a concrete cycle witness.
+
+use ftr_analyze::{verify_cube, verify_mesh, MeshVcMode};
+use ftr_rules::{compile, parse, CompileOptions, CompiledProgram};
+
+fn compiled(src: &str) -> CompiledProgram {
+    let prog = parse(src).expect("parse");
+    compile(&prog, &CompileOptions::default()).expect("compile")
+}
+
+fn shipped(name: &str) -> CompiledProgram {
+    let src = ftr_algos::rules_src::all()
+        .into_iter()
+        .find(|(n, _)| *n == name)
+        .unwrap_or_else(|| panic!("no shipped program {name}"))
+        .1;
+    compiled(src)
+}
+
+#[test]
+fn xy_program_is_deadlock_free_fault_free() {
+    let report = verify_mesh("xy", &shipped("xy"), 4, 4, MeshVcMode::SingleVc, 0, 16);
+    assert!(report.verified(), "{}", report.summary());
+    assert_eq!(report.fault_sets_checked, 1);
+}
+
+#[test]
+fn west_first_program_is_deadlock_free_fault_free() {
+    let report =
+        verify_mesh("west_first", &shipped("west_first"), 4, 4, MeshVcMode::SingleVc, 0, 16);
+    assert!(report.verified(), "{}", report.summary());
+}
+
+#[test]
+fn naive_adaptive_baseline_has_a_cycle_witness() {
+    let c = compiled(include_str!("fixtures/adaptive.rules"));
+    let report = verify_mesh("adaptive", &c, 3, 3, MeshVcMode::SingleVc, 0, 16);
+    assert!(!report.verified(), "the naive adaptive baseline must deadlock");
+    let witness = &report.failures[0];
+    assert_eq!(witness.faults, "fault-free");
+    // a dependency cycle on a mesh needs at least four turning channels
+    assert!(witness.cycle.len() >= 4, "degenerate witness: {:?}", witness.cycle);
+}
+
+#[test]
+fn nafta_is_deadlock_free_with_up_to_two_link_faults_exhaustively() {
+    // 3x3 mesh has 12 links: 1 + 12 + C(12,2) = 79 fault scenarios, all
+    // checked exhaustively under the two-virtual-network discipline.
+    let report = verify_mesh("nafta", &shipped("nafta"), 3, 3, MeshVcMode::NaraPair, 2, 1 << 20);
+    assert!(report.verified(), "{}", report.summary());
+    assert_eq!(report.fault_sets_checked, 79);
+}
+
+#[test]
+fn nafta_is_deadlock_free_on_4x4_with_single_link_faults() {
+    let report = verify_mesh("nafta", &shipped("nafta"), 4, 4, MeshVcMode::NaraPair, 1, 1 << 20);
+    assert!(report.verified(), "{}", report.summary());
+    assert_eq!(report.fault_sets_checked, 25); // 24 links + fault-free
+}
+
+#[test]
+fn nafta_on_single_virtual_network_is_not_deadlock_free() {
+    // sanity check that verification has teeth: the same program without
+    // the virtual-network discipline deadlocks
+    let report = verify_mesh("nafta", &shipped("nafta"), 3, 3, MeshVcMode::SingleVc, 0, 16);
+    assert!(!report.verified());
+}
+
+#[test]
+fn route_c_is_deadlock_free_on_a_4_cube() {
+    let src = ftr_algos::rules_src::route_c_source(4);
+    let c = compiled(&src);
+    let report = verify_cube("route_c", &c, 4, 0, 16);
+    assert!(report.verified(), "{}", report.summary());
+    assert_eq!(report.num_vcs, 5);
+}

@@ -39,9 +39,7 @@ fn bench_sim(c: &mut Criterion) {
 
     let cfg = registry::configuration("xy").unwrap();
     let rule_xy = RuleRouter::new(cfg, mesh.clone(), 1);
-    g.bench_function("rule_driven_xy", |b| {
-        b.iter(|| black_box(run_sim(&mesh, &rule_xy, 500)))
-    });
+    g.bench_function("rule_driven_xy", |b| b.iter(|| black_box(run_sim(&mesh, &rule_xy, 500))));
 
     g.finish();
 }

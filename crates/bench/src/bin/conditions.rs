@@ -31,10 +31,7 @@ fn row(name: &str, algo: &dyn RoutingAlgorithm, mesh: &Mesh2D, faults: &FaultSet
 fn main() {
     let mesh = Mesh2D::new(6, 6);
     println!("Conditions 1–3 compliance ratios (1.0 = premise always satisfied)\n");
-    println!(
-        "{:<16} {:>6} {:>9} {:>9} {:>9}",
-        "algorithm", "|F|", "cond1", "cond2", "cond3"
-    );
+    println!("{:<16} {:>6} {:>9} {:>9} {:>9}", "algorithm", "|F|", "cond1", "cond2", "cond3");
 
     for nf in [0usize, 2, 4, 6] {
         let mut faults = FaultSet::new();
@@ -43,12 +40,7 @@ fn main() {
         row("west-first", &WestFirst::new(mesh.clone()), &mesh, &faults);
         row("nara", &Nara::new(mesh.clone()), &mesh, &faults);
         row("nafta", &Nafta::new(mesh.clone()), &mesh, &faults);
-        row(
-            "spanning-tree",
-            &SpanningTreeRouting::new(mesh.clone()),
-            &mesh,
-            &faults,
-        );
+        row("spanning-tree", &SpanningTreeRouting::new(mesh.clone()), &mesh, &faults);
         println!();
     }
 }

@@ -8,8 +8,8 @@
 //! loaded"); the experiment measures how throughput and latency degrade
 //! as faults accumulate, and how much traffic is absorbed by detours.
 
-use ftr_bench::measure_load;
 use ftr_algos::Nafta;
+use ftr_bench::measure_load;
 use ftr_sim::{Network, Pattern, SimConfig, TrafficSource};
 use ftr_topo::{FaultSet, Mesh2D};
 use std::sync::Arc;
@@ -29,18 +29,8 @@ fn main() {
         let mut faults = FaultSet::new();
         faults.inject_random_links(&mesh, nf, true, 13);
 
-        let p = measure_load(
-            &mesh,
-            &algo,
-            &faults,
-            Pattern::Uniform,
-            0.15,
-            4,
-            1_000,
-            3_000,
-            21,
-            cfg,
-        );
+        let p =
+            measure_load(&mesh, &algo, &faults, Pattern::Uniform, 0.15, 4, 1_000, 3_000, 21, cfg);
 
         // a separate run to collect detour/unroutable detail
         let mut net = Network::new(Arc::new(mesh.clone()), &algo, cfg);

@@ -44,12 +44,8 @@ fn main() {
     );
 
     let nafta = parse(rules_src::NAFTA).expect("nafta parses");
-    let f = fuse(
-        &nafta,
-        &["incoming_message", "in_message_ft", "test_exception"],
-        &opts,
-    )
-    .expect("fusible");
+    let f = fuse(&nafta, &["incoming_message", "in_message_ft", "test_exception"], &opts)
+        .expect("fusible");
     println!(
         "{:<36} {:>12} {:>7} {:>14} {:>14} {:>8.1}",
         "nafta: 3-step decision chain",

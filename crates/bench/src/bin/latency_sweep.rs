@@ -13,8 +13,8 @@
 //!   3. NAFTA with 0 / 4 / 8 link faults (graceful degradation);
 //!   4. ROUTE_C vs stripped ROUTE_C on a 5-cube (the always-2-steps cost).
 
-use ftr_bench::{format_curve, measure_load, LoadPoint};
 use ftr_algos::{Nafta, Nara, RouteC};
+use ftr_bench::{format_curve, measure_load, LoadPoint};
 use ftr_sim::routing::RoutingAlgorithm;
 use ftr_sim::{Pattern, SimConfig};
 use ftr_topo::{FaultSet, Hypercube, Mesh2D, Topology};
@@ -31,18 +31,7 @@ fn curve<T: Topology + Clone + Sync + 'static>(
 ) -> Vec<LoadPoint> {
     let inputs: Vec<f64> = LOADS.to_vec();
     ftr_sim::run_sweep(inputs, ftr_sim::sweep::default_threads(), |&load| {
-        measure_load(
-            topo,
-            algo,
-            faults,
-            Pattern::Uniform,
-            load,
-            4,
-            WARMUP,
-            WINDOW,
-            42,
-            cfg,
-        )
+        measure_load(topo, algo, faults, Pattern::Uniform, load, 4, WARMUP, WINDOW, 42, cfg)
     })
 }
 
@@ -59,10 +48,7 @@ fn main() {
     );
     println!(
         "{}",
-        format_curve(
-            "NAFTA, 8x8 mesh, fault-free",
-            &curve(&mesh, &nafta, &FaultSet::new(), cfg)
-        )
+        format_curve("NAFTA, 8x8 mesh, fault-free", &curve(&mesh, &nafta, &FaultSet::new(), cfg))
     );
 
     let slow = SimConfig { decision_cycles_per_step: 3, ..cfg };

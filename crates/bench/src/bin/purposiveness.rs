@@ -40,10 +40,7 @@ fn main() {
         let mut net = Network::new(Arc::new(mesh.clone()), &algo, SimConfig::default());
         net.apply_fault_set(&faults);
         net.settle_control(100_000).expect("settles");
-        let deact = mesh
-            .nodes()
-            .filter(|&n| net.controller(n).state_word() & 1 == 1)
-            .count();
+        let deact = mesh.nodes().filter(|&n| net.controller(n).state_word() & 1 == 1).count();
 
         let rep = check_conditions(&mesh, &algo, &faults, None);
         println!(

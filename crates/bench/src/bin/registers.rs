@@ -10,18 +10,11 @@ use ftr_core::registry::{configuration, list_configurations};
 
 fn main() {
     println!("Register accounting per configuration\n");
-    println!(
-        "| configuration | registers | total bits | FT-only bits | shared-writer registers |"
-    );
+    println!("| configuration | registers | total bits | FT-only bits | shared-writer registers |");
     println!("|---------------|----------:|-----------:|-------------:|------------------------:|");
     for name in list_configurations() {
         let cfg = configuration(name).expect("shipped configs compile");
-        let shared = cfg
-            .cost
-            .registers
-            .iter()
-            .filter(|r| r.writers.len() > 1)
-            .count();
+        let shared = cfg.cost.registers.iter().filter(|r| r.writers.len() > 1).count();
         println!(
             "| {} | {} | {} | {} | {} |",
             name,

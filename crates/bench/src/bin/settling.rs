@@ -25,10 +25,7 @@ fn settle<T: Topology + Clone + 'static>(
 
 fn main() {
     println!("Fault-state propagation settling (cycles until quiescent)\n");
-    println!(
-        "{:<26} {:>6} {:>10} {:>12}",
-        "algorithm/topology", "|F|", "cycles", "ctrl msgs"
-    );
+    println!("{:<26} {:>6} {:>10} {:>12}", "algorithm/topology", "|F|", "cycles", "ctrl msgs");
 
     let mesh = Mesh2D::new(12, 12);
     for nf in [1usize, 4, 8, 16] {

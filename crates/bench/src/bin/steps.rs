@@ -62,22 +62,13 @@ fn main() {
     cube_faults.inject_random_nodes(&cube, 2, true, 11);
 
     let (m, lo, hi) = run(&cube, &RouteC::new(cube.clone()), &FaultSet::new());
-    println!(
-        "{:<22} {:>10.3} {:>6} {:>6}   paper: always 2",
-        "route_c (fault-free)", m, lo, hi
-    );
+    println!("{:<22} {:>10.3} {:>6} {:>6}   paper: always 2", "route_c (fault-free)", m, lo, hi);
 
     let (m, lo, hi) = run(&cube, &RouteC::new(cube.clone()), &cube_faults);
-    println!(
-        "{:<22} {:>10.3} {:>6} {:>6}   paper: always 2",
-        "route_c (2 node flt)", m, lo, hi
-    );
+    println!("{:<22} {:>10.3} {:>6} {:>6}   paper: always 2", "route_c (2 node flt)", m, lo, hi);
 
     let (m, lo, hi) = run(&cube, &RouteC::stripped(cube.clone()), &FaultSet::new());
-    println!(
-        "{:<22} {:>10.3} {:>6} {:>6}   paper: 1 (stripped)",
-        "route_c_nft", m, lo, hi
-    );
+    println!("{:<22} {:>10.3} {:>6} {:>6}   paper: 1 (stripped)", "route_c_nft", m, lo, hi);
 
     println!(
         "\n(min = 0 appears when a message is delivered at its injection node's \

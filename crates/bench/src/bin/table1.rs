@@ -33,9 +33,7 @@ fn main() {
             if r.ft_only { "*" } else { "" }
         );
     }
-    println!(
-        "\npaper: 159 register bits in 8 registers, 47 bits fault-tolerance-only"
-    );
+    println!("\npaper: 159 register bits in 8 registers, 47 bits fault-tolerance-only");
     println!(
         "here:  {} register bits in {} registers, {} bits fault-tolerance-only",
         cfg.cost.total_register_bits(),

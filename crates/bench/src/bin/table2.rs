@@ -10,9 +10,7 @@ fn main() {
     println!("{}", cfg.cost.to_markdown());
     let report = HardwareReport::of(&cfg);
     println!("{}", report.summary());
-    println!(
-        "paper's total: 2960 bits of rule table for the 64-node hypercube, a = 2"
-    );
+    println!("paper's total: 2960 bits of rule table for the 64-node hypercube, a = 2");
     println!(
         "paper's registers: 15d + 2 log d + 3 = {} bits for d = 6 (9d = {} in the nft case)",
         15 * 6 + 2 * 3 + 3,

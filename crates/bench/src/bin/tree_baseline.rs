@@ -6,18 +6,15 @@
 //! analysis (link fraction, minimal-path fraction, dilation) plus a
 //! latency/throughput comparison against NAFTA.
 
-use ftr_bench::{format_curve, measure_load};
 use ftr_algos::{Nafta, SpanningTreeRouting};
+use ftr_bench::{format_curve, measure_load};
 use ftr_sim::{Pattern, SimConfig};
 use ftr_topo::spanning::SpanningTree;
 use ftr_topo::{FaultSet, Mesh2D, NodeId};
 
 fn main() {
     println!("Spanning-tree structural weakness (static analysis)\n");
-    println!(
-        "{:<10} {:>12} {:>16} {:>12}",
-        "mesh", "link frac", "minimal frac", "dilation"
-    );
+    println!("{:<10} {:>12} {:>16} {:>12}", "mesh", "link frac", "minimal frac", "dilation");
     for side in [4u32, 6, 8, 10] {
         let mesh = Mesh2D::new(side, side);
         let faults = FaultSet::new();

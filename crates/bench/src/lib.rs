@@ -7,8 +7,8 @@
 //!
 //! Shared helpers for the binaries live here.
 
-use ftr_sim::{Network, Pattern, SimConfig, TrafficSource};
 use ftr_sim::routing::RoutingAlgorithm;
+use ftr_sim::{Network, Pattern, SimConfig, TrafficSource};
 use ftr_topo::Topology;
 use std::sync::Arc;
 

@@ -16,7 +16,9 @@
 use crate::RouterConfiguration;
 use ftr_rules::{Domain, InputMap, Machine, Value};
 use ftr_sim::flit::Header;
-use ftr_sim::routing::{ControlMsg, Decision, NodeController, RouterView, RoutingAlgorithm, Verdict};
+use ftr_sim::routing::{
+    ControlMsg, Decision, NodeController, RouterView, RoutingAlgorithm, Verdict,
+};
 use ftr_topo::{Hypercube, NodeId, PortId, Topology, VcId};
 use std::sync::Arc;
 
@@ -95,11 +97,8 @@ impl CubeRuleController {
     /// Reads the `chosen` register (argmin result of decide_vc).
     fn chosen(&self) -> usize {
         let prog = self.machine.program();
-        let vi = prog
-            .vars
-            .iter()
-            .position(|v| v.name == "chosen")
-            .expect("route_c program has chosen");
+        let vi =
+            prog.vars.iter().position(|v| v.name == "chosen").expect("route_c program has chosen");
         match self.machine.regs().read(prog, vi, &[]) {
             Ok(Value::Int(v)) => v as usize,
             _ => 0,
@@ -124,9 +123,8 @@ impl CubeRuleController {
         {
             return Vec::new();
         }
-        let Ok(casc) = self
-            .machine
-            .fire_cascade("update_state", &[Value::Int(dir.idx() as i64)], &im)
+        let Ok(casc) =
+            self.machine.fire_cascade("update_state", &[Value::Int(dir.idx() as i64)], &im)
         else {
             return Vec::new();
         };
@@ -208,9 +206,8 @@ impl NodeController for CubeRuleController {
         let _ = im.set(&prog, "misr", &[], Value::Bool(misr));
         for v in 0..5usize {
             // a channel class is usable if any candidate output has it free
-            let free = (0..dim).any(|d| {
-                cands & (1 << d) != 0 && view.link_alive[d] && view.out_free[d][v]
-            });
+            let free = (0..dim)
+                .any(|d| cands & (1 << d) != 0 && view.link_alive[d] && view.out_free[d][v]);
             let _ = im.set(&prog, "freevc", &[Value::Int(v as i64)], Value::Bool(free));
         }
         let Ok(casc2) = self.machine.fire_cascade("decide_vc", &[], &im) else {

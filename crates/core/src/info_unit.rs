@@ -67,18 +67,9 @@ mod tests {
         let mut im = InputMap::new();
         load_link_info(&prog, &mut im, &view, VcId(0)).unwrap();
         // free(2) is false because the link is dead even though the VC is free
-        assert_eq!(
-            im.read_input(&prog, 0, &[Value::Int(2)]).unwrap(),
-            Value::Bool(false)
-        );
-        assert_eq!(
-            im.read_input(&prog, 0, &[Value::Int(0)]).unwrap(),
-            Value::Bool(true)
-        );
+        assert_eq!(im.read_input(&prog, 0, &[Value::Int(2)]).unwrap(), Value::Bool(false));
+        assert_eq!(im.read_input(&prog, 0, &[Value::Int(0)]).unwrap(), Value::Bool(true));
         // out_queue clamps to 255
-        assert_eq!(
-            im.read_input(&prog, 1, &[Value::Int(1)]).unwrap(),
-            Value::Int(255)
-        );
+        assert_eq!(im.read_input(&prog, 1, &[Value::Int(1)]).unwrap(), Value::Int(255));
     }
 }

@@ -23,9 +23,9 @@ pub mod registry;
 pub mod report;
 pub mod rule_router;
 
+pub use cube_router::CubeRuleRouter;
 pub use registry::{configuration, list_configurations};
 pub use report::HardwareReport;
-pub use cube_router::CubeRuleRouter;
 pub use rule_router::{MeshInterface, RuleRouter};
 
 use ftr_rules::{compile, cost, CompileOptions, CompiledProgram, ProgramCost, Result};

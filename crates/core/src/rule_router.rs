@@ -97,11 +97,7 @@ impl RuleRouter {
     /// virtual channels the data path provides (the program addresses them
     /// through the `invc` input).
     pub fn new(config: RouterConfiguration, mesh: Mesh2D, vcs: usize) -> Self {
-        RuleRouter {
-            config: Arc::new(config),
-            interface: MeshInterface::new(mesh),
-            vcs,
-        }
+        RuleRouter { config: Arc::new(config), interface: MeshInterface::new(mesh), vcs }
     }
 
     /// The configuration driving this router.

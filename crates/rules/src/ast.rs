@@ -5,6 +5,7 @@
 //! — the reference evaluator, the ARON compiler, the cost model — works on
 //! indices instead of strings.
 
+use crate::error::Pos;
 use crate::value::{Domain, Type, Value};
 use serde::{Deserialize, Serialize};
 
@@ -43,6 +44,8 @@ pub struct VarDecl {
     pub elem: Type,
     /// Initial value of every cell.
     pub init: Value,
+    /// Source position of the declaration.
+    pub pos: Pos,
 }
 
 /// An external input (`INPUT name[index_doms] IN elem`): header fields, link
@@ -56,6 +59,8 @@ pub struct InputDecl {
     pub index_domains: Vec<Domain>,
     /// Element type.
     pub elem: Type,
+    /// Source position of the declaration.
+    pub pos: Pos,
 }
 
 /// An event parameter (`ON update_state(dir IN dirs)`).
@@ -262,6 +267,8 @@ pub struct Rule {
     pub premise: Expr,
     /// Parallel conclusion commands.
     pub conclusion: Vec<Command>,
+    /// Source position of the rule's `IF` keyword.
+    pub pos: Pos,
 }
 
 /// An event-triggered rule base (`ON name(params) ... END name;`).
@@ -278,6 +285,8 @@ pub struct RuleBase {
     pub nft: bool,
     /// The rules, in source order (order resolves conflicts).
     pub rules: Vec<Rule>,
+    /// Source position of the `ON` keyword.
+    pub pos: Pos,
 }
 
 /// A complete rule program.
@@ -309,10 +318,7 @@ impl Program {
 
     /// Looks up a rule base by name.
     pub fn rulebase(&self, name: &str) -> Option<(usize, &RuleBase)> {
-        self.rulebases
-            .iter()
-            .enumerate()
-            .find(|(_, rb)| rb.name == name)
+        self.rulebases.iter().enumerate().find(|(_, rb)| rb.name == name)
     }
 
     /// Resolves a symbol name to its value, searching all symbol types.

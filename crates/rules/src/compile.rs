@@ -42,6 +42,33 @@ impl Default for CompileOptions {
     }
 }
 
+/// A resolution the ARON compiler performed silently while filling the
+/// table (§4.3: "conflicts are resolved and gaps are eliminated").
+/// Collected — not printed — so `ftr-analyze` can turn them into
+/// diagnostics.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CompileWarning {
+    /// At `entries` feature-space entries both rules applied with
+    /// *different* conclusions; source order picked `winner` (rule
+    /// indices within the rule base, 0-based, `winner < loser`).
+    Conflict {
+        /// Rule that fires (earlier in source order).
+        winner: usize,
+        /// Rule whose conclusion is discarded there.
+        loser: usize,
+        /// Number of feature-space entries where both applied.
+        entries: u64,
+    },
+    /// `entries` of `total` feature-space entries had no applicable rule
+    /// and were mapped to the no-op entry 0.
+    Gaps {
+        /// Entries with no applicable rule.
+        entries: u64,
+        /// Total feature-space entries.
+        total: u64,
+    },
+}
+
 /// How one feature contributes to the table index.
 #[derive(Clone, Debug, PartialEq)]
 pub enum FeatureKind {
@@ -133,11 +160,9 @@ pub fn subst_bound(e: &Expr, depth: usize, v: Value) -> Expr {
             indices: indices.iter().map(|i| subst_bound(i, depth, v)).collect(),
         },
         Expr::Un(op, inner) => Expr::Un(*op, Box::new(subst_bound(inner, depth, v))),
-        Expr::Bin(op, l, r) => Expr::Bin(
-            *op,
-            Box::new(subst_bound(l, depth, v)),
-            Box::new(subst_bound(r, depth, v)),
-        ),
+        Expr::Bin(op, l, r) => {
+            Expr::Bin(*op, Box::new(subst_bound(l, depth, v)), Box::new(subst_bound(r, depth, v)))
+        }
         Expr::Quant { q, dom, set, body } => Expr::Quant {
             q: *q,
             dom: *dom,
@@ -166,16 +191,10 @@ pub fn expand_quantifiers(prog: &Program, e: &Expr) -> Result<Expr> {
             let mut acc: Option<Expr> = None;
             for k in 0..n {
                 let v = dom.value_at(k);
-                let guard = Expr::Bin(
-                    BinOp::In,
-                    Box::new(Expr::Lit(v)),
-                    Box::new(set_e.clone()),
-                );
+                let guard = Expr::Bin(BinOp::In, Box::new(Expr::Lit(v)), Box::new(set_e.clone()));
                 let inst = subst_bound(&body_e, 0, v);
                 let term = match q {
-                    Quant::Exists => {
-                        Expr::Bin(BinOp::And, Box::new(guard), Box::new(inst))
-                    }
+                    Quant::Exists => Expr::Bin(BinOp::And, Box::new(guard), Box::new(inst)),
                     Quant::Forall => Expr::Bin(
                         BinOp::Or,
                         Box::new(Expr::Un(UnOp::Not, Box::new(guard))),
@@ -198,10 +217,7 @@ pub fn expand_quantifiers(prog: &Program, e: &Expr) -> Result<Expr> {
         Expr::Bin(BinOp::Ne, l, r) => {
             let l = expand_quantifiers(prog, l)?;
             let r = expand_quantifiers(prog, r)?;
-            Expr::Un(
-                UnOp::Not,
-                Box::new(Expr::Bin(BinOp::Eq, Box::new(l), Box::new(r))),
-            )
+            Expr::Un(UnOp::Not, Box::new(Expr::Bin(BinOp::Eq, Box::new(l), Box::new(r))))
         }
         Expr::Bin(op, l, r) => Expr::Bin(
             *op,
@@ -215,8 +231,7 @@ pub fn expand_quantifiers(prog: &Program, e: &Expr) -> Result<Expr> {
             Expr::Indexed { target: *target, indices: idx? }
         }
         Expr::Call { builtin, args } => {
-            let a: Result<Vec<Expr>> =
-                args.iter().map(|x| expand_quantifiers(prog, x)).collect();
+            let a: Result<Vec<Expr>> = args.iter().map(|x| expand_quantifiers(prog, x)).collect();
             Expr::Call { builtin: *builtin, args: a? }
         }
         other => other.clone(),
@@ -233,9 +248,7 @@ fn contains_dynamic_ref(e: &Expr) -> bool {
         Expr::Indexed { .. } => true,
         Expr::Un(_, inner) => contains_dynamic_ref(inner),
         Expr::Bin(_, l, r) => contains_dynamic_ref(l) || contains_dynamic_ref(r),
-        Expr::Quant { set, body, .. } => {
-            contains_dynamic_ref(set) || contains_dynamic_ref(body)
-        }
+        Expr::Quant { set, body, .. } => contains_dynamic_ref(set) || contains_dynamic_ref(body),
         Expr::Call { builtin, args } => {
             matches!(builtin, Builtin::ArgMin(_) | Builtin::ArgMax(_))
                 || args.iter().any(contains_dynamic_ref)
@@ -250,14 +263,11 @@ pub fn fold_consts(prog: &Program, e: &Expr) -> Result<Expr> {
     // fold children first
     let folded = match e {
         Expr::Un(op, inner) => Expr::Un(*op, Box::new(fold_consts(prog, inner)?)),
-        Expr::Bin(op, l, r) => Expr::Bin(
-            *op,
-            Box::new(fold_consts(prog, l)?),
-            Box::new(fold_consts(prog, r)?),
-        ),
+        Expr::Bin(op, l, r) => {
+            Expr::Bin(*op, Box::new(fold_consts(prog, l)?), Box::new(fold_consts(prog, r)?))
+        }
         Expr::Indexed { target, indices } => {
-            let idx: Result<Vec<Expr>> =
-                indices.iter().map(|i| fold_consts(prog, i)).collect();
+            let idx: Result<Vec<Expr>> = indices.iter().map(|i| fold_consts(prog, i)).collect();
             Expr::Indexed { target: *target, indices: idx? }
         }
         Expr::Call { builtin, args } => {
@@ -289,12 +299,7 @@ pub fn fold_consts(prog: &Program, e: &Expr) -> Result<Expr> {
     let regs = crate::env::RegFile::new(prog);
     struct NoInputs;
     impl crate::env::InputProvider for NoInputs {
-        fn read_input(
-            &self,
-            _: &Program,
-            _: usize,
-            _: &[Value],
-        ) -> Result<Value> {
+        fn read_input(&self, _: &Program, _: usize, _: &[Value]) -> Result<Value> {
             Err(RuleError::eval("input read in constant expression".to_string()))
         }
     }
@@ -335,12 +340,7 @@ fn is_directable(d: Domain) -> bool {
 }
 
 /// Collects atoms of an expanded premise into the feature set.
-fn collect_atoms(
-    prog: &Program,
-    rb: &RuleBase,
-    e: &Expr,
-    fs: &mut FeatureSet,
-) -> Result<()> {
+fn collect_atoms(prog: &Program, rb: &RuleBase, e: &Expr, fs: &mut FeatureSet) -> Result<()> {
     match e {
         Expr::Lit(Value::Bool(_)) => Ok(()),
         Expr::Bin(BinOp::And | BinOp::Or, l, r) => {
@@ -409,18 +409,15 @@ fn classify_atom(
 }
 
 /// Evaluates an expanded premise under an abstract feature assignment.
-fn abstract_eval(
-    prog: &Program,
-    fs: &FeatureSet,
-    assignment: &[u64],
-    e: &Expr,
-) -> Result<bool> {
+fn abstract_eval(prog: &Program, fs: &FeatureSet, assignment: &[u64], e: &Expr) -> Result<bool> {
     match e {
         Expr::Lit(Value::Bool(b)) => Ok(*b),
-        Expr::Bin(BinOp::And, l, r) => Ok(abstract_eval(prog, fs, assignment, l)?
-            && abstract_eval(prog, fs, assignment, r)?),
-        Expr::Bin(BinOp::Or, l, r) => Ok(abstract_eval(prog, fs, assignment, l)?
-            || abstract_eval(prog, fs, assignment, r)?),
+        Expr::Bin(BinOp::And, l, r) => {
+            Ok(abstract_eval(prog, fs, assignment, l)? && abstract_eval(prog, fs, assignment, r)?)
+        }
+        Expr::Bin(BinOp::Or, l, r) => {
+            Ok(abstract_eval(prog, fs, assignment, l)? || abstract_eval(prog, fs, assignment, r)?)
+        }
         Expr::Un(UnOp::Not, inner) => Ok(!abstract_eval(prog, fs, assignment, inner)?),
         atom => {
             let (fi, test) = fs
@@ -445,9 +442,7 @@ fn abstract_eval(
                         _ => unreachable!("InLit on predicate feature"),
                     };
                     let v = dom.value_at(digit);
-                    set_dom
-                        .ordinal(&v, &ss)
-                        .is_some_and(|k| mask & (1 << k) != 0)
+                    set_dom.ordinal(&v, &ss).is_some_and(|k| mask & (1 << k) != 0)
                 }
             })
         }
@@ -475,15 +470,13 @@ pub fn compile_rulebase(
         collect_atoms(prog, rb, p, &mut fs)?;
     }
 
-    let entries: u64 = fs
-        .features
-        .iter()
-        .map(|f| f.size)
-        .try_fold(1u64, |a, b| a.checked_mul(b))
-        .ok_or_else(|| RuleError::Compile {
-            rulebase: rb.name.clone(),
-            msg: "feature space overflows u64".to_string(),
-        })?;
+    let entries: u64 =
+        fs.features.iter().map(|f| f.size).try_fold(1u64, |a, b| a.checked_mul(b)).ok_or_else(
+            || RuleError::Compile {
+                rulebase: rb.name.clone(),
+                msg: "feature space overflows u64".to_string(),
+            },
+        )?;
     if entries > opts.max_entries {
         return Err(RuleError::Compile {
             rulebase: rb.name.clone(),
@@ -500,19 +493,34 @@ pub fn compile_rulebase(
         });
     }
 
-    // fill the table by mixed-radix enumeration of the feature space
+    // fill the table by mixed-radix enumeration of the feature space;
+    // while doing so, record which resolutions §4.3 performs silently
     let radices: Vec<u64> = fs.features.iter().map(|f| f.size).collect();
     let mut table = vec![0u16; entries as usize];
     let mut assignment = vec![0u64; radices.len()];
+    let mut rule_applicable = vec![0u64; rb.rules.len()];
+    let mut conflicts: HashMap<(usize, usize), u64> = HashMap::new();
+    let mut gaps = 0u64;
     for entry in table.iter_mut() {
-        let mut selected = 0u16;
+        let mut winner: Option<usize> = None;
         for (ri, prem) in expanded.iter().enumerate() {
             if abstract_eval(prog, &fs, &assignment, prem)? {
-                selected = (ri + 1) as u16;
-                break;
+                rule_applicable[ri] += 1;
+                match winner {
+                    None => winner = Some(ri),
+                    // identical conclusions are not a conflict: whichever
+                    // fires, the effect is the same
+                    Some(w) if rb.rules[w].conclusion != rb.rules[ri].conclusion => {
+                        *conflicts.entry((w, ri)).or_insert(0) += 1;
+                    }
+                    Some(_) => {}
+                }
             }
         }
-        *entry = selected;
+        match winner {
+            Some(w) => *entry = (w + 1) as u16,
+            None => gaps += 1,
+        }
         // increment mixed-radix counter (first feature = least significant)
         for (a, r) in assignment.iter_mut().zip(&radices) {
             *a += 1;
@@ -521,6 +529,17 @@ pub fn compile_rulebase(
             }
             *a = 0;
         }
+    }
+    let mut warnings: Vec<CompileWarning> = conflicts
+        .into_iter()
+        .map(|((winner, loser), n)| CompileWarning::Conflict { winner, loser, entries: n })
+        .collect();
+    warnings.sort_unstable_by_key(|w| match *w {
+        CompileWarning::Conflict { winner, loser, .. } => (winner, loser),
+        CompileWarning::Gaps { .. } => (usize::MAX, usize::MAX),
+    });
+    if gaps > 0 {
+        warnings.push(CompileWarning::Gaps { entries: gaps, total: entries });
     }
 
     // width: conclusion selector plus declared return field (documented
@@ -537,14 +556,15 @@ pub fn compile_rulebase(
         table,
         entries,
         width_bits,
+        warnings,
+        rule_applicable,
     })
 }
 
 /// Compiles every rule base of a program.
 pub fn compile(prog: &Program, opts: &CompileOptions) -> Result<CompiledProgram> {
-    let bases: Result<Vec<CompiledRuleBase>> = (0..prog.rulebases.len())
-        .map(|i| compile_rulebase(prog, i, opts))
-        .collect();
+    let bases: Result<Vec<CompiledRuleBase>> =
+        (0..prog.rulebases.len()).map(|i| compile_rulebase(prog, i, opts)).collect();
     Ok(CompiledProgram { prog: prog.clone(), bases: bases? })
 }
 
@@ -678,5 +698,43 @@ mod tests {
         // no features at all → single always-true entry
         assert_eq!(c.entries, 1);
         assert_eq!(c.table, vec![1]);
+    }
+
+    #[test]
+    fn conflicts_and_gaps_are_collected() {
+        let p = parse(
+            "VARIABLE n IN 0 TO 7 INIT 0\n\
+             ON f() RETURNS 0 TO 3\n\
+               IF n < 4 THEN RETURN(0);\n\
+               IF n < 6 THEN RETURN(1);\n\
+             END f;",
+        )
+        .unwrap();
+        let c = compile_rulebase(&p, 0, &CompileOptions::default()).unwrap();
+        // features: n<4 and n<6 → 4 abstract entries; both true at one of
+        // them (conflict, resolved to rule 0), neither true at one (gap)
+        assert!(c.warnings.contains(&CompileWarning::Conflict { winner: 0, loser: 1, entries: 1 }));
+        assert!(c.warnings.iter().any(|w| matches!(w, CompileWarning::Gaps { entries: 1, .. })));
+        // both rules are applicable somewhere, and both actually win somewhere
+        assert!(c.rule_applicable.iter().all(|&n| n > 0));
+        for r in [1u16, 2] {
+            assert!(c.table.contains(&r));
+        }
+    }
+
+    #[test]
+    fn identical_conclusions_are_not_conflicts() {
+        let p = parse(
+            "VARIABLE n IN 0 TO 7 INIT 0\n\
+             ON f() RETURNS 0 TO 3\n\
+               IF n < 4 THEN RETURN(0);\n\
+               IF TRUE THEN RETURN(0);\n\
+             END f;",
+        )
+        .unwrap();
+        let c = compile_rulebase(&p, 0, &CompileOptions::default()).unwrap();
+        assert!(c.warnings.iter().all(|w| !matches!(w, CompileWarning::Conflict { .. })));
+        // the catch-all also eliminates gaps
+        assert!(c.warnings.is_empty());
     }
 }

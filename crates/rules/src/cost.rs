@@ -104,13 +104,7 @@ impl ProgramCost {
             } else {
                 rb.fcfbs
                     .iter()
-                    .map(|(k, n)| {
-                        if *n > 1 {
-                            format!("{n} x {k}")
-                        } else {
-                            k.clone()
-                        }
-                    })
+                    .map(|(k, n)| if *n > 1 { format!("{n} x {k}") } else { k.clone() })
                     .collect::<Vec<_>>()
                     .join(", ")
             };
@@ -158,8 +152,8 @@ fn command_touches_var(c: &Command, var: usize) -> (bool, bool) {
     // (reads, writes)
     match c {
         Command::Assign { var: v, indices, value } => {
-            let reads = indices.iter().any(|i| expr_reads_var(i, var))
-                || expr_reads_var(value, var);
+            let reads =
+                indices.iter().any(|i| expr_reads_var(i, var)) || expr_reads_var(value, var);
             (reads, *v == var)
         }
         Command::Return(e) => (expr_reads_var(e, var), false),

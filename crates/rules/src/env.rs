@@ -56,10 +56,7 @@ impl RegFile {
             .zip(&decl.index_domains)
             .map(|(v, d)| {
                 d.ordinal(v, &ss).ok_or_else(|| {
-                    RuleError::eval(format!(
-                        "index {v} out of domain {d:?} for `{}`",
-                        decl.name
-                    ))
+                    RuleError::eval(format!("index {v} out of domain {d:?} for `{}`", decl.name))
                 })
             })
             .collect()
@@ -144,7 +141,12 @@ impl InputMap {
         Self::default()
     }
 
-    fn key(prog: &Program, decl: &InputDecl, input: usize, indices: &[Value]) -> Result<(usize, u64)> {
+    fn key(
+        prog: &Program,
+        decl: &InputDecl,
+        input: usize,
+        indices: &[Value],
+    ) -> Result<(usize, u64)> {
         if indices.len() != decl.index_domains.len() {
             return Err(RuleError::eval(format!(
                 "input `{}` expects {} indices, got {}",
@@ -161,9 +163,9 @@ impl InputMap {
                     "inputs support at most 4 index dimensions".to_string(),
                 ));
             }
-            ords[i] = d.ordinal(v, &ss).ok_or_else(|| {
-                RuleError::eval(format!("input index {v} out of domain {d:?}"))
-            })?;
+            ords[i] = d
+                .ordinal(v, &ss)
+                .ok_or_else(|| RuleError::eval(format!("input index {v} out of domain {d:?}")))?;
         }
         Ok((input, pack_ordinals(&ords[..indices.len()])?))
     }
@@ -203,10 +205,7 @@ impl InputProvider for InputMap {
         if let Some(v) = self.defaults.get(&input) {
             return Ok(*v);
         }
-        Err(RuleError::eval(format!(
-            "input `{}` (packed index {}) has no value",
-            decl.name, key.1
-        )))
+        Err(RuleError::eval(format!("input `{}` (packed index {}) has no value", decl.name, key.1)))
     }
 }
 
@@ -246,14 +245,8 @@ mod tests {
         assert_eq!(r.read(&p, 1, &[Value::Int(2)]).unwrap(), Value::Int(3));
         assert_eq!(r.read(&p, 1, &[Value::Int(1)]).unwrap(), Value::Int(1));
         r.write(&p, 2, &[Value::Int(1), Value::Int(3)], Value::Bool(true)).unwrap();
-        assert_eq!(
-            r.read(&p, 2, &[Value::Int(1), Value::Int(3)]).unwrap(),
-            Value::Bool(true)
-        );
-        assert_eq!(
-            r.read(&p, 2, &[Value::Int(3), Value::Int(1)]).unwrap(),
-            Value::Bool(false)
-        );
+        assert_eq!(r.read(&p, 2, &[Value::Int(1), Value::Int(3)]).unwrap(), Value::Bool(true));
+        assert_eq!(r.read(&p, 2, &[Value::Int(3), Value::Int(1)]).unwrap(), Value::Bool(false));
     }
 
     #[test]
@@ -272,10 +265,7 @@ mod tests {
         let mut m = InputMap::new();
         m.set(&p, "load", &[Value::Int(1)], Value::Int(9)).unwrap();
         m.set(&p, "flag", &[], Value::Bool(true)).unwrap();
-        assert_eq!(
-            m.read_input(&p, 0, &[Value::Int(1)]).unwrap(),
-            Value::Int(9)
-        );
+        assert_eq!(m.read_input(&p, 0, &[Value::Int(1)]).unwrap(), Value::Int(9));
         assert_eq!(m.read_input(&p, 1, &[]).unwrap(), Value::Bool(true));
         assert!(m.read_input(&p, 0, &[Value::Int(0)]).is_err());
         m.set_default(&p, "load", Value::Int(0)).unwrap();

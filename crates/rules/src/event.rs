@@ -181,7 +181,8 @@ impl Machine {
         self.stats.total_steps += 1;
         self.stats.last_fire_steps += 1;
         self.stats.per_base[idx] += 1;
-        let out = self.compiled.bases[idx].fire(&self.compiled.prog, args, &mut self.regs, inputs)?;
+        let out =
+            self.compiled.bases[idx].fire(&self.compiled.prog, args, &mut self.regs, inputs)?;
         for ev in &out.emitted {
             if self.compiled.prog.rulebase(&ev.event).is_some() {
                 self.queue.push_back(ev.clone());

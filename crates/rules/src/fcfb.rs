@@ -114,9 +114,7 @@ fn is_zero_lit(e: &Expr) -> bool {
 }
 
 fn is_sym_or_bool_subject(prog: &Program, rb: &RuleBase, e: &Expr) -> bool {
-    scalar_domain(prog, rb, e)
-        .map(|d| matches!(d, Domain::Sym(_) | Domain::Bool))
-        .unwrap_or(false)
+    scalar_domain(prog, rb, e).map(|d| matches!(d, Domain::Sym(_) | Domain::Bool)).unwrap_or(false)
 }
 
 fn scalar_domain(prog: &Program, rb: &RuleBase, e: &Expr) -> Option<Domain> {
@@ -168,8 +166,7 @@ fn walk_expr(prog: &Program, rb: &RuleBase, e: &Expr, seen: &mut Vec<(FcfbKind, 
                     // symbol/bool vs literal wires directly into the index
                     let sym_direct = (matches!(&**r, Expr::Lit(_))
                         && is_sym_or_bool_subject(prog, rb, l))
-                        || (matches!(&**l, Expr::Lit(_))
-                            && is_sym_or_bool_subject(prog, rb, r));
+                        || (matches!(&**l, Expr::Lit(_)) && is_sym_or_bool_subject(prog, rb, r));
                     if sym_direct {
                         // no FCFB needed
                     } else if is_zero_lit(l) || is_zero_lit(r) {

@@ -83,18 +83,15 @@ pub fn fuse(prog: &Program, names: &[&str], opts: &CompileOptions) -> Result<Fus
             }
         }
     }
-    let param_radix = params
-        .iter()
-        .fold(1u64, |a, (_, d)| a.saturating_mul(d.size(&ss)));
+    let param_radix = params.iter().fold(1u64, |a, (_, d)| a.saturating_mul(d.size(&ss)));
 
-    let entries = features
-        .iter()
-        .map(|f| f.size)
-        .try_fold(param_radix, |a, b| a.checked_mul(b))
-        .ok_or_else(|| RuleError::Compile {
-            rulebase: names.join("+"),
-            msg: "fused feature space overflows u64".into(),
-        })?;
+    let entries =
+        features.iter().map(|f| f.size).try_fold(param_radix, |a, b| a.checked_mul(b)).ok_or_else(
+            || RuleError::Compile {
+                rulebase: names.join("+"),
+                msg: "fused feature space overflows u64".into(),
+            },
+        )?;
 
     Ok(FusedCost {
         names: names.iter().map(|s| s.to_string()).collect(),
@@ -144,12 +141,7 @@ END stage2;
     fn fusion_blows_up_relative_to_separate() {
         let p = parse(SRC).unwrap();
         let f = fuse(&p, &["stage1", "stage2"], &CompileOptions::default()).unwrap();
-        assert!(
-            f.blowup() > 1.0,
-            "fused {} vs separate {}",
-            f.table_bits,
-            f.separate_table_bits
-        );
+        assert!(f.blowup() > 1.0, "fused {} vs separate {}", f.table_bits, f.separate_table_bits);
     }
 
     #[test]

@@ -16,7 +16,7 @@
 //! simulator converts into routing-decision cycles.
 
 use crate::ast::Program;
-use crate::compile::{Feature, FeatureKind};
+use crate::compile::{CompileWarning, Feature, FeatureKind};
 use crate::env::{InputProvider, RegFile};
 use crate::error::{Result, RuleError};
 use crate::eval::{apply_rule, eval_expr, EvalCtx, FireOutcome};
@@ -37,6 +37,14 @@ pub struct CompiledRuleBase {
     pub entries: u64,
     /// Modelled entry width in bits (conclusion selector + return field).
     pub width_bits: u32,
+    /// Conflict/gap resolutions performed while filling the table (§4.3
+    /// resolves both silently; they are collected here for analysis).
+    pub warnings: Vec<CompileWarning>,
+    /// Per rule: at how many feature-space entries its premise holds.
+    /// `0` means the premise is unsatisfiable over the abstract feature
+    /// space; a non-zero count with no table entry selecting the rule
+    /// means it is shadowed by earlier rules.
+    pub rule_applicable: Vec<u64>,
 }
 
 impl CompiledRuleBase {
@@ -115,9 +123,7 @@ impl CompiledRuleBase {
                 FeatureKind::Direct { subject, dom } => {
                     let v = eval_expr(&mut ctx, subject)?;
                     dom.ordinal(&v, &ss).ok_or_else(|| {
-                        RuleError::eval(format!(
-                            "direct feature value {v} outside {dom:?}"
-                        ))
+                        RuleError::eval(format!("direct feature value {v} outside {dom:?}"))
                     })
                 }
                 FeatureKind::Predicate { expr } => {
@@ -191,9 +197,8 @@ impl CompiledProgram {
         regs: &mut RegFile,
         inputs: &dyn InputProvider,
     ) -> Result<FireOutcome> {
-        let base = self
-            .base(name)
-            .ok_or_else(|| RuleError::eval(format!("no rule base `{name}`")))?;
+        let base =
+            self.base(name).ok_or_else(|| RuleError::eval(format!("no rule base `{name}`")))?;
         base.fire(&self.prog, params, regs, inputs)
     }
 
@@ -238,9 +243,7 @@ END classify;
             for level in 0..10i64 {
                 for d in 0..4i64 {
                     let mut regs_a = RegFile::new(&p);
-                    regs_a
-                        .write(&p, 0, &[], Value::Sym { ty: 0, idx: state_idx })
-                        .unwrap();
+                    regs_a.write(&p, 0, &[], Value::Sym { ty: 0, idx: state_idx }).unwrap();
                     let mut regs_b = regs_a.clone();
                     let mut inp = InputMap::new();
                     inp.set_default(&p, "level", int(0)).unwrap();

@@ -172,10 +172,7 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>> {
                 }
             }
             other => {
-                return Err(RuleError::Lex {
-                    pos,
-                    msg: format!("unexpected character `{other}`"),
-                })
+                return Err(RuleError::Lex { pos, msg: format!("unexpected character `{other}`") })
             }
         }
     }
@@ -219,10 +216,7 @@ mod tests {
     #[test]
     fn comments_are_skipped() {
         let t = toks("-- a comment\nx <- 1 -- trailing\n");
-        assert_eq!(
-            t,
-            vec![Tok::Ident("x".into()), Tok::Assign, Tok::Int(1), Tok::Eof]
-        );
+        assert_eq!(t, vec![Tok::Ident("x".into()), Tok::Assign, Tok::Int(1), Tok::Eof]);
     }
 
     #[test]
@@ -270,10 +264,7 @@ mod tests {
     fn keywords_are_case_sensitive() {
         // lowercase `if` is an identifier, matching the paper's uppercase style
         let t = toks("if IF");
-        assert_eq!(
-            t,
-            vec![Tok::Ident("if".into()), Tok::Kw(Keyword::If), Tok::Eof]
-        );
+        assert_eq!(t, vec![Tok::Ident("if".into()), Tok::Kw(Keyword::If), Tok::Eof]);
     }
 
     #[test]

@@ -29,7 +29,7 @@ pub mod token;
 pub mod value;
 
 pub use ast::Program;
-pub use compile::{compile, compile_rulebase, CompileOptions};
+pub use compile::{compile, compile_rulebase, CompileOptions, CompileWarning};
 pub use cost::{ProgramCost, RegisterCost, RuleBaseCost};
 pub use env::{InputMap, InputProvider, RegFile};
 pub use error::{Result, RuleError};

@@ -220,9 +220,7 @@ impl Parser {
                     Some(c) => c.value.as_int().map_err(|_| {
                         RuleError::resolve(format!("`{name}` is not an integer constant"))
                     }),
-                    None => Err(RuleError::resolve(format!(
-                        "unknown integer constant `{name}`"
-                    ))),
+                    None => Err(RuleError::resolve(format!("unknown integer constant `{name}`"))),
                 }
             }
             other => Err(self.err(format!("expected integer bound, found {other}"))),
@@ -264,9 +262,10 @@ impl Parser {
                     }
                     return Ok(Domain::Int { lo, hi });
                 }
-                self.domains.get(&name).copied().ok_or_else(|| {
-                    RuleError::resolve(format!("unknown domain `{name}`"))
-                })
+                self.domains
+                    .get(&name)
+                    .copied()
+                    .ok_or_else(|| RuleError::resolve(format!("unknown domain `{name}`")))
             }
             other => Err(self.err(format!("expected domain, found {other}"))),
         }
@@ -287,6 +286,7 @@ impl Parser {
 
     /// `VARIABLE name[doms] IN type [INIT expr]`
     fn var_decl(&mut self) -> Result<()> {
+        let pos = self.pos();
         self.expect_kw(Kw::Variable)?;
         let name = self.ident()?;
         self.check_fresh(&name)?;
@@ -300,19 +300,20 @@ impl Parser {
         } else {
             self.default_value(elem)?
         };
-        self.prog.vars.push(VarDecl { name, index_domains, elem, init });
+        self.prog.vars.push(VarDecl { name, index_domains, elem, init, pos });
         Ok(())
     }
 
     /// `INPUT name[doms] IN type`
     fn input_decl(&mut self) -> Result<()> {
+        let pos = self.pos();
         self.expect_kw(Kw::Input)?;
         let name = self.ident()?;
         self.check_fresh(&name)?;
         let index_domains = self.index_domains()?;
         self.expect_kw(Kw::In)?;
         let elem = self.type_expr()?;
-        self.prog.inputs.push(InputDecl { name, index_domains, elem });
+        self.prog.inputs.push(InputDecl { name, index_domains, elem, pos });
         Ok(())
     }
 
@@ -341,6 +342,7 @@ impl Parser {
 
     /// `ON name(params) [RETURNS type] [NFT] rules END [name] [;]`
     fn rulebase(&mut self) -> Result<()> {
+        let pos = self.pos();
         self.expect_kw(Kw::On)?;
         let name = self.ident()?;
         if self.prog.rulebase(&name).is_some() {
@@ -363,11 +365,7 @@ impl Parser {
             }
             self.expect(&Tok::RParen)?;
         }
-        let returns = if self.eat(&Tok::Kw(Kw::Returns)) {
-            Some(self.type_expr()?)
-        } else {
-            None
-        };
+        let returns = if self.eat(&Tok::Kw(Kw::Returns)) { Some(self.type_expr()?) } else { None };
         let nft = self.eat(&Tok::Kw(Kw::Nft));
 
         let mut rules = Vec::new();
@@ -385,11 +383,12 @@ impl Parser {
         }
         self.eat(&Tok::Semi);
         let params = std::mem::take(&mut self.params);
-        self.prog.rulebases.push(RuleBase { name, params, returns, nft, rules });
+        self.prog.rulebases.push(RuleBase { name, params, returns, nft, rules, pos });
         Ok(())
     }
 
     fn rule(&mut self, returns: Option<Type>) -> Result<Rule> {
+        let pos = self.pos();
         self.expect_kw(Kw::If)?;
         let (premise, pt) = self.expr()?;
         if pt != Type::Scalar(Domain::Bool) {
@@ -401,7 +400,7 @@ impl Parser {
             conclusion.push(self.command(returns)?);
         }
         self.expect(&Tok::Semi)?;
-        Ok(Rule { premise, conclusion })
+        Ok(Rule { premise, conclusion, pos })
     }
 
     fn command(&mut self, returns: Option<Type>) -> Result<Command> {
@@ -456,14 +455,9 @@ impl Parser {
             Tok::Ident(_) => {
                 // assignment: lvalue <- expr
                 let name = self.ident()?;
-                let var = self
-                    .prog
-                    .vars
-                    .iter()
-                    .position(|v| v.name == name)
-                    .ok_or_else(|| {
-                        RuleError::resolve(format!("assignment to non-register `{name}`"))
-                    })?;
+                let var = self.prog.vars.iter().position(|v| v.name == name).ok_or_else(|| {
+                    RuleError::resolve(format!("assignment to non-register `{name}`"))
+                })?;
                 let decl = self.prog.vars[var].clone();
                 let mut indices = Vec::new();
                 if self.eat(&Tok::LParen) {
@@ -517,10 +511,8 @@ impl Parser {
     }
 
     fn same_kind(&self, a: Domain, b: Domain) -> bool {
-        matches!(
-            (a, b),
-            (Domain::Int { .. }, Domain::Int { .. }) | (Domain::Bool, Domain::Bool)
-        ) || matches!((a, b), (Domain::Sym(x), Domain::Sym(y)) if x == y)
+        matches!((a, b), (Domain::Int { .. }, Domain::Int { .. }) | (Domain::Bool, Domain::Bool))
+            || matches!((a, b), (Domain::Sym(x), Domain::Sym(y)) if x == y)
     }
 
     // --------------------------------------------------------- expressions
@@ -594,9 +586,7 @@ impl Parser {
                     _ => false,
                 };
                 if !ok {
-                    return Err(RuleError::resolve(format!(
-                        "cannot compare {lt:?} with {rt:?}"
-                    )));
+                    return Err(RuleError::resolve(format!("cannot compare {lt:?} with {rt:?}")));
                 }
             }
             BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
@@ -660,10 +650,8 @@ impl Parser {
             let (llo, lhi) = self.require_int(t)?;
             let (rlo, rhi) = self.require_int(rt)?;
             let cands = [llo * rlo, llo * rhi, lhi * rlo, lhi * rhi];
-            let dom = Domain::Int {
-                lo: *cands.iter().min().unwrap(),
-                hi: *cands.iter().max().unwrap(),
-            };
+            let dom =
+                Domain::Int { lo: *cands.iter().min().unwrap(), hi: *cands.iter().max().unwrap() };
             e = Expr::Bin(BinOp::Mul, Box::new(e), Box::new(r));
             t = Type::Scalar(dom);
         }
@@ -674,10 +662,7 @@ impl Parser {
         if self.eat(&Tok::Minus) {
             let (e, t) = self.unary_expr()?;
             let (lo, hi) = self.require_int(t)?;
-            Ok((
-                Expr::Un(UnOp::Neg, Box::new(e)),
-                Type::Scalar(Domain::Int { lo: -hi, hi: -lo }),
-            ))
+            Ok((Expr::Un(UnOp::Neg, Box::new(e)), Type::Scalar(Domain::Int { lo: -hi, hi: -lo })))
         } else {
             self.atom()
         }
@@ -737,17 +722,15 @@ impl Parser {
         let dom = match vals[0] {
             Value::Int(_) => {
                 let ints: Result<Vec<i64>> = vals.iter().map(|v| v.as_int()).collect();
-                let ints = ints.map_err(|_| {
-                    RuleError::resolve("mixed kinds in set literal".to_string())
-                })?;
-                Domain::Int {
-                    lo: *ints.iter().min().unwrap(),
-                    hi: *ints.iter().max().unwrap(),
-                }
+                let ints =
+                    ints.map_err(|_| RuleError::resolve("mixed kinds in set literal".to_string()))?;
+                Domain::Int { lo: *ints.iter().min().unwrap(), hi: *ints.iter().max().unwrap() }
             }
             Value::Sym { ty, .. } => {
                 if !vals.iter().all(|v| matches!(v, Value::Sym { ty: t2, .. } if *t2 == ty)) {
-                    return Err(RuleError::resolve("mixed symbol types in set literal".to_string()));
+                    return Err(RuleError::resolve(
+                        "mixed symbol types in set literal".to_string(),
+                    ));
                 }
                 Domain::Sym(ty)
             }
@@ -802,9 +785,7 @@ impl Parser {
             if let Some(ii) = self.prog.inputs.iter().position(|v| v.name == name) {
                 return self.indexed_read(IndexedRef::Input(ii));
             }
-            return Err(RuleError::resolve(format!(
-                "`{name}` is not an array, input or builtin"
-            )));
+            return Err(RuleError::resolve(format!("`{name}` is not an array, input or builtin")));
         }
         // bound binders, innermost first
         for (depth, (bname, dom)) in self.bounds.iter().rev().enumerate() {
@@ -823,9 +804,7 @@ impl Parser {
         if let Some(vi) = self.prog.vars.iter().position(|v| v.name == name) {
             let d = &self.prog.vars[vi];
             if !d.index_domains.is_empty() {
-                return Err(RuleError::resolve(format!(
-                    "array `{name}` used without indices"
-                )));
+                return Err(RuleError::resolve(format!("array `{name}` used without indices")));
             }
             return Ok((Expr::Ref(Ref::Var(vi)), d.elem));
         }
@@ -881,10 +860,7 @@ impl Parser {
         for ((_, t), d) in indices.iter().zip(&doms) {
             self.check_assignable(Type::Scalar(*d), *t)?;
         }
-        Ok((
-            Expr::Indexed { target, indices: indices.into_iter().map(|(e, _)| e).collect() },
-            elem,
-        ))
+        Ok((Expr::Indexed { target, indices: indices.into_iter().map(|(e, _)| e).collect() }, elem))
     }
 
     fn builtin_call(&mut self, name: String, b: Builtin) -> Result<(Expr, Type)> {
@@ -892,14 +868,9 @@ impl Parser {
         // argmin/argmax take the input name as first argument
         if matches!(b, Builtin::ArgMin(_) | Builtin::ArgMax(_)) {
             let iname = self.ident()?;
-            let ii = self
-                .prog
-                .inputs
-                .iter()
-                .position(|i| i.name == iname)
-                .ok_or_else(|| {
-                    RuleError::resolve(format!("`{iname}` is not an input (argmin/argmax)"))
-                })?;
+            let ii = self.prog.inputs.iter().position(|i| i.name == iname).ok_or_else(|| {
+                RuleError::resolve(format!("`{iname}` is not an input (argmin/argmax)"))
+            })?;
             let decl = self.prog.inputs[ii].clone();
             if decl.index_domains.len() != 1 {
                 return Err(RuleError::resolve(format!(
@@ -927,10 +898,7 @@ impl Parser {
                 Builtin::ArgMin(_) => Builtin::ArgMin(ii),
                 _ => Builtin::ArgMax(ii),
             };
-            return Ok((
-                Expr::Call { builtin: bt, args: vec![set] },
-                Type::Scalar(idx_dom),
-            ));
+            return Ok((Expr::Call { builtin: bt, args: vec![set] }, Type::Scalar(idx_dom)));
         }
 
         let mut args = Vec::new();
@@ -977,7 +945,9 @@ impl Parser {
             Builtin::Popcount => {
                 let (alo, _ahi) = self.require_int(args[0].1)?;
                 if alo < 0 {
-                    return Err(RuleError::resolve("popcount needs non-negative range".to_string()));
+                    return Err(RuleError::resolve(
+                        "popcount needs non-negative range".to_string(),
+                    ));
                 }
                 Type::Scalar(Domain::Int { lo: 0, hi: 64 })
             }
@@ -1028,10 +998,7 @@ impl Parser {
             }
             Builtin::ArgMin(_) | Builtin::ArgMax(_) => unreachable!("handled above"),
         };
-        Ok((
-            Expr::Call { builtin: b, args: args.into_iter().map(|(e, _)| e).collect() },
-            ty,
-        ))
+        Ok((Expr::Call { builtin: b, args: args.into_iter().map(|(e, _)| e).collect() }, ty))
     }
 
     /// Constant folding for INIT values and set literals.
@@ -1151,10 +1118,7 @@ END update_state;
         assert_eq!(rb.rules.len(), 2);
         // second rule: 4 commands, one of which is a FORALL emit
         assert_eq!(rb.rules[1].conclusion.len(), 4);
-        assert!(rb.rules[1]
-            .conclusion
-            .iter()
-            .any(|c| matches!(c, Command::ForAll { .. })));
+        assert!(rb.rules[1].conclusion.iter().any(|c| matches!(c, Command::ForAll { .. })));
     }
 
     #[test]
@@ -1179,10 +1143,7 @@ END pick;
 
     #[test]
     fn nft_marker_and_returns() {
-        let p = parse(
-            "ON f() RETURNS 0 TO 1 NFT IF TRUE THEN RETURN(0); END f;",
-        )
-        .unwrap();
+        let p = parse("ON f() RETURNS 0 TO 1 NFT IF TRUE THEN RETURN(0); END f;").unwrap();
         assert!(p.rulebases[0].nft);
         assert!(p.rulebases[0].returns.is_some());
     }
@@ -1195,9 +1156,7 @@ END pick;
 
     #[test]
     fn rejects_type_mismatch() {
-        let e = parse(
-            "CONSTANT s = {a, b}\nON f(x IN s) IF x = 3 THEN x; END f;",
-        );
+        let e = parse("CONSTANT s = {a, b}\nON f(x IN s) IF x = 3 THEN x; END f;");
         assert!(e.is_err());
     }
 
@@ -1227,10 +1186,8 @@ END pick;
 
     #[test]
     fn set_literal_of_ints() {
-        let p = parse(
-            "VARIABLE x IN 0 TO 9 INIT 0\nON f() IF x IN {1, 3, 5} THEN x <- 0; END f;",
-        )
-        .unwrap();
+        let p = parse("VARIABLE x IN 0 TO 9 INIT 0\nON f() IF x IN {1, 3, 5} THEN x <- 0; END f;")
+            .unwrap();
         match &p.rulebases[0].rules[0].premise {
             Expr::Bin(BinOp::In, _, rhs) => match **rhs {
                 Expr::Lit(Value::Set { dom: Domain::Int { lo: 1, hi: 5 }, mask }) => {

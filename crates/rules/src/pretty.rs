@@ -60,10 +60,8 @@ pub fn print_program(p: &Program) -> String {
             .map(|pa| format!("{} IN {}", pa.name, print_domain(p, &pa.dom)))
             .collect::<Vec<_>>()
             .join(", ");
-        let returns = rb
-            .returns
-            .map(|t| format!(" RETURNS {}", print_type(p, &t)))
-            .unwrap_or_default();
+        let returns =
+            rb.returns.map(|t| format!(" RETURNS {}", print_type(p, &t))).unwrap_or_default();
         let nft = if rb.nft { " NFT" } else { "" };
         let _ = writeln!(out, "ON {}({params}){returns}{nft}", rb.name);
         for (ri, rule) in rb.rules.iter().enumerate() {
@@ -102,10 +100,7 @@ fn print_index_domains(p: &Program, doms: &[Domain]) -> String {
     if doms.is_empty() {
         String::new()
     } else {
-        format!(
-            "[{}]",
-            doms.iter().map(|d| print_domain(p, d)).collect::<Vec<_>>().join(", ")
-        )
+        format!("[{}]", doms.iter().map(|d| print_domain(p, d)).collect::<Vec<_>>().join(", "))
     }
 }
 
@@ -202,10 +197,8 @@ fn print_expr_d(
             format!("({kw} {name} IN {s}: {b})")
         }
         Expr::Call { builtin, args } => {
-            let argv: Vec<String> = args
-                .iter()
-                .map(|a| print_expr_d(p, rb, a, binders, depth))
-                .collect();
+            let argv: Vec<String> =
+                args.iter().map(|a| print_expr_d(p, rb, a, binders, depth)).collect();
             match builtin {
                 Builtin::ArgMin(i) => format!("argmin({}, {})", p.inputs[*i].name, argv[0]),
                 Builtin::ArgMax(i) => format!("argmax({}, {})", p.inputs[*i].name, argv[0]),
@@ -355,7 +348,9 @@ END update_state;
         let printed = print_program(&p1);
         let p2 = parse(&printed).unwrap();
         assert_eq!(p1.rulebases[0].rules.len(), p2.rulebases[0].rules.len());
-        assert!(printed.contains("CONSTANT fault_states = {safe, ounsafe, sunsafe, lfault, faulty}"));
+        assert!(
+            printed.contains("CONSTANT fault_states = {safe, ounsafe, sunsafe, lfault, faulty}")
+        );
         assert!(printed.contains("number_faulty <- (number_faulty + 1)"));
     }
 }

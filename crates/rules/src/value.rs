@@ -162,9 +162,7 @@ impl Value {
     pub fn full_set(dom: Domain, sym_sizes: &dyn Fn(usize) -> usize) -> Result<Value> {
         let n = dom.size(sym_sizes);
         if n > 64 {
-            return Err(RuleError::eval(format!(
-                "set domain too large ({n} > 64 elements)"
-            )));
+            return Err(RuleError::eval(format!("set domain too large ({n} > 64 elements)")));
         }
         let mask = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
         Ok(Value::Set { dom, mask })
@@ -217,10 +215,7 @@ mod tests {
         let d = Domain::Sym(0);
         assert_eq!(d.size(&syms), 5);
         assert_eq!(d.width_bits(&syms), 3);
-        assert_eq!(
-            d.ordinal(&Value::Sym { ty: 0, idx: 4 }, &syms),
-            Some(4)
-        );
+        assert_eq!(d.ordinal(&Value::Sym { ty: 0, idx: 4 }, &syms), Some(4));
         assert_eq!(d.ordinal(&Value::Sym { ty: 1, idx: 0 }, &syms), None);
         assert_eq!(d.ordinal(&Value::Sym { ty: 0, idx: 5 }, &syms), None);
     }

@@ -4,9 +4,7 @@
 
 use ftr_rules::compile::{expand_quantifiers, fold_consts};
 use ftr_rules::eval::{eval_expr, EvalCtx};
-use ftr_rules::{
-    compile, fire_reference, parse, CompileOptions, InputMap, RegFile, Value,
-};
+use ftr_rules::{compile, fire_reference, parse, CompileOptions, InputMap, RegFile, Value};
 use proptest::prelude::*;
 
 /// Generates a small rule program over a fixed environment: integer

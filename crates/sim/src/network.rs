@@ -76,12 +76,8 @@ impl Network {
         let vcs = algo.num_vcs();
         let degree = topo.degree();
         let n = topo.num_nodes();
-        let nodes = (0..n)
-            .map(|_| RouterNode::new(degree, vcs, cfg.buffer_depth))
-            .collect();
-        let ctrls = (0..n)
-            .map(|i| algo.controller(topo.as_ref(), NodeId(i as u32)))
-            .collect();
+        let nodes = (0..n).map(|_| RouterNode::new(degree, vcs, cfg.buffer_depth)).collect();
+        let ctrls = (0..n).map(|i| algo.controller(topo.as_ref(), NodeId(i as u32))).collect();
         let mut stats = SimStats::default();
         stats.num_nodes = n;
         Network {
@@ -294,9 +290,7 @@ impl Network {
         let mut out_free = vec![vec![true; self.vcs]; degree];
         let mut link_alive = vec![false; degree];
         for p in 0..degree {
-            let alive = self
-                .faults
-                .link_usable(self.topo.as_ref(), n, PortId(p as u8));
+            let alive = self.faults.link_usable(self.topo.as_ref(), n, PortId(p as u8));
             link_alive[p] = alive;
             if !alive {
                 out_free[p] = vec![false; self.vcs];
@@ -368,14 +362,13 @@ impl Network {
                     // through the output-channel owner; otherwise through
                     // the FIFO front
                     let stale = match node.inputs[ip][iv].route {
-                        RouteState::Out(p, v) => node.outputs[p.idx()][v.idx()]
-                            .owner
-                            .is_some_and(|m| ids.contains(&m)),
+                        RouteState::Out(p, v) => {
+                            node.outputs[p.idx()][v.idx()].owner.is_some_and(|m| ids.contains(&m))
+                        }
                         _ => false,
                     };
                     let vc = &mut node.inputs[ip][iv];
-                    let front_dead =
-                        vc.fifo.front().is_some_and(|f| ids.contains(&f.msg));
+                    let front_dead = vc.fifo.front().is_some_and(|f| ids.contains(&f.msg));
                     vc.fifo.retain(|f| !ids.contains(&f.msg));
                     if front_dead || stale {
                         vc.reset_route();
@@ -445,9 +438,7 @@ impl Network {
         let mut out_free = vec![vec![false; self.vcs]; degree];
         let mut link_alive = vec![false; degree];
         for p in 0..degree {
-            let alive = self
-                .faults
-                .link_usable(self.topo.as_ref(), n, PortId(p as u8));
+            let alive = self.faults.link_usable(self.topo.as_ref(), n, PortId(p as u8));
             link_alive[p] = alive;
             if alive {
                 for v in 0..self.vcs {
@@ -474,11 +465,7 @@ impl Network {
 
         // 1. control-plane deliveries due this cycle
         let mut due = Vec::new();
-        while self
-            .control
-            .front()
-            .is_some_and(|d| d.due <= self.cycle)
-        {
+        while self.control.front().is_some_and(|d| d.due <= self.cycle) {
             due.push(self.control.pop_front().expect("checked"));
         }
         for d in due {
@@ -591,11 +578,8 @@ impl Network {
                 let mut winner: Option<(usize, usize, VcId)> = None;
                 // two passes when fairness for misrouted messages is on:
                 // first only misrouted candidates, then everyone
-                let passes: &[bool] = if self.cfg.prioritize_misrouted {
-                    &[true, false]
-                } else {
-                    &[false]
-                };
+                let passes: &[bool] =
+                    if self.cfg.prioritize_misrouted { &[true, false] } else { &[false] };
                 'arb: for &misrouted_only in passes {
                     for off in 0..slots {
                         let s = (start + off) % slots;
@@ -622,10 +606,8 @@ impl Network {
                 }
                 let Some((ip, iv, ov)) = winner else { continue };
                 used[ip] = true;
-                let mut flit = self.nodes[ni].inputs[ip][iv]
-                    .fifo
-                    .pop_front()
-                    .expect("winner has flit");
+                let mut flit =
+                    self.nodes[ni].inputs[ip][iv].fifo.pop_front().expect("winner has flit");
                 moved = true;
                 if let Some(h) = flit.header_mut() {
                     h.hops += 1;
@@ -637,8 +619,7 @@ impl Network {
                     self.nodes[ni].outputs[p][ov.idx()].owner = None;
                 }
                 self.nodes[ni].outputs[p][ov.idx()].credits -= 1;
-                self.nodes[ni].out_assigned[p] =
-                    self.nodes[ni].out_assigned[p].saturating_sub(1);
+                self.nodes[ni].out_assigned[p] = self.nodes[ni].out_assigned[p].saturating_sub(1);
                 self.nodes[ni].out_reg[p] = Some((ov, flit));
                 if ip < degree {
                     credit_returns.push((n, PortId(ip as u8), iv));
@@ -657,8 +638,7 @@ impl Network {
         // 6. watchdog
         if moved {
             self.last_move = self.cycle;
-        } else if self.in_flight() > 0
-            && self.cycle - self.last_move >= self.cfg.deadlock_threshold
+        } else if self.in_flight() > 0 && self.cycle - self.last_move >= self.cfg.deadlock_threshold
         {
             self.stats.deadlock = true;
         }
@@ -667,13 +647,7 @@ impl Network {
     }
 
     /// Decision handling for one input VC.
-    fn route_one(
-        &mut self,
-        n: NodeId,
-        ip: usize,
-        iv: usize,
-        unroutable: &mut HashSet<MessageId>,
-    ) {
+    fn route_one(&mut self, n: NodeId, ip: usize, iv: usize, unroutable: &mut HashSet<MessageId>) {
         let degree = self.topo.degree();
         {
             let vc = &self.nodes[n.idx()].inputs[ip][iv];
@@ -689,8 +663,7 @@ impl Network {
         // advance the decision countdown
         match self.nodes[n.idx()].inputs[ip][iv].phase {
             Some(DecisionPhase::Waiting(c)) if c > 1 => {
-                self.nodes[n.idx()].inputs[ip][iv].phase =
-                    Some(DecisionPhase::Waiting(c - 1));
+                self.nodes[n.idx()].inputs[ip][iv].phase = Some(DecisionPhase::Waiting(c - 1));
                 return;
             }
             Some(DecisionPhase::Waiting(_)) => {
@@ -734,13 +707,9 @@ impl Network {
                 self.nodes[n.idx()].inputs[ip][iv].counted = true;
                 self.stats.decision_steps.add(dec.steps as u64);
             }
-            let delay = dec
-                .steps
-                .saturating_mul(self.cfg.decision_cycles_per_step)
-                .max(1);
+            let delay = dec.steps.saturating_mul(self.cfg.decision_cycles_per_step).max(1);
             if delay > 1 {
-                self.nodes[n.idx()].inputs[ip][iv].phase =
-                    Some(DecisionPhase::Waiting(delay - 1));
+                self.nodes[n.idx()].inputs[ip][iv].phase = Some(DecisionPhase::Waiting(delay - 1));
                 return;
             }
             self.nodes[n.idx()].inputs[ip][iv].phase = Some(DecisionPhase::Ready);
@@ -991,10 +960,7 @@ mod tests {
             lat.push(net.stats.latency.mean());
         }
         // 6 routing decisions on the path, each 2 cycles slower
-        assert!(
-            lat[1] >= lat[0] + 8.0,
-            "3-step decisions should cost >= 8 extra cycles: {lat:?}"
-        );
+        assert!(lat[1] >= lat[0] + 8.0, "3-step decisions should cost >= 8 extra cycles: {lat:?}");
     }
 
     #[test]
@@ -1033,11 +999,7 @@ mod tests {
         // 1-flit buffers reliably deadlock a fully adaptive 1-VC router
         let topo = Arc::new(Mesh2D::new(3, 3));
         let algo = GreedyAdaptive { mesh: (*topo).clone() };
-        let cfg = SimConfig {
-            buffer_depth: 1,
-            deadlock_threshold: 200,
-            ..Default::default()
-        };
+        let cfg = SimConfig { buffer_depth: 1, deadlock_threshold: 200, ..Default::default() };
         let mut net = Network::new(topo.clone(), &algo, cfg);
         // four corner-to-corner messages forming a cycle of turns
         net.send(topo.node_at(0, 0), topo.node_at(2, 2), 32);

@@ -175,9 +175,8 @@ mod tests {
         let f = FaultSet::new();
         let mut rng = StdRng::seed_from_u64(7);
         let p = Pattern::Hotspot { target: NodeId(0), frac: 0.9 };
-        let hits = (0..1000)
-            .filter(|_| p.dest(NodeId(9), &m, &f, &mut rng) == Some(NodeId(0)))
-            .count();
+        let hits =
+            (0..1000).filter(|_| p.dest(NodeId(9), &m, &f, &mut rng) == Some(NodeId(0))).count();
         assert!(hits > 850, "hotspot hit only {hits}/1000");
     }
 

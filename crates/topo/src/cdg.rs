@@ -116,9 +116,8 @@ impl ChannelDependencyGraph {
                 if here == dst {
                     continue; // message drains, no further dependency
                 }
-                let in_port = topo
-                    .port_towards(here, c.node)
-                    .expect("channel endpoint is adjacent");
+                let in_port =
+                    topo.port_towards(here, c.node).expect("channel endpoint is adjacent");
                 let ci = g.chan_index(c);
                 for (p, vc) in routing(here, Some((in_port, c.vc)), dst) {
                     if !faults.link_usable(topo, here, p) {
@@ -211,10 +210,11 @@ impl ChannelDependencyGraph {
 mod tests {
     use super::*;
     use crate::mesh::{Mesh2D, EAST, NORTH, SOUTH, WEST};
-    
 
     /// XY dimension-order routing on one VC: provably deadlock-free.
-    fn xy(m: &Mesh2D) -> impl Fn(NodeId, Option<(PortId, VcId)>, NodeId) -> Vec<(PortId, VcId)> + '_ {
+    fn xy(
+        m: &Mesh2D,
+    ) -> impl Fn(NodeId, Option<(PortId, VcId)>, NodeId) -> Vec<(PortId, VcId)> + '_ {
         move |cur, _in, dst| {
             let (dx, dy) = m.offset(cur, dst);
             let p = if dx > 0 {
@@ -237,10 +237,7 @@ mod tests {
         m: &Mesh2D,
     ) -> impl Fn(NodeId, Option<(PortId, VcId)>, NodeId) -> Vec<(PortId, VcId)> + '_ {
         move |cur, _in, dst| {
-            m.minimal_directions(cur, dst)
-                .into_iter()
-                .map(|p| (p, VcId(0)))
-                .collect()
+            m.minimal_directions(cur, dst).into_iter().map(|p| (p, VcId(0))).collect()
         }
     }
 
@@ -312,5 +309,139 @@ mod tests {
             let bi = g.chan_index(b);
             assert!(g.edges[ai].contains(&(bi as u32)), "{a:?} -> {b:?} missing");
         }
+    }
+
+    /// The NARA/NAFTA two-virtual-network turn-model discipline (§2.2):
+    /// network 0 routes E/W/N, network 1 routes E/W/S plus a committed
+    /// north climb in the destination column, switching 0 → 1 is one-way,
+    /// and 180° turns are banned.
+    fn nara_pair(
+        m: &Mesh2D,
+    ) -> impl Fn(NodeId, Option<(PortId, VcId)>, NodeId) -> Vec<(PortId, VcId)> + '_ {
+        move |cur, inc, dst| {
+            let (dx, dy) = m.offset(cur, dst);
+            if dx == 0 && dy == 0 {
+                return vec![];
+            }
+            if let Some((ip, iv)) = inc {
+                if iv == VcId(1) && ip == SOUTH {
+                    // committed climb: keep going north in network 1
+                    return vec![(NORTH, VcId(1))];
+                }
+            }
+            let vnets: Vec<u8> = match inc {
+                Some((_, iv)) => {
+                    // one-way switch into the no-north network on overshoot
+                    vec![if iv == VcId(0) && dy < 0 { 1 } else { iv.idx() as u8 }]
+                }
+                None if dy > 0 => vec![0],
+                None if dy < 0 => vec![1],
+                None => vec![0, 1],
+            };
+            let in_port = inc.map(|(p, _)| p);
+            let mut out = vec![];
+            for v in vnets {
+                let mut dirs = vec![];
+                if dx > 0 {
+                    dirs.push(EAST);
+                }
+                if dx < 0 {
+                    dirs.push(WEST);
+                }
+                if v == 0 {
+                    if dy > 0 {
+                        dirs.push(NORTH);
+                    }
+                } else {
+                    if dy < 0 {
+                        dirs.push(SOUTH);
+                    }
+                    if dx == 0 && dy > 0 {
+                        dirs.push(NORTH); // terminal climb entry
+                    }
+                }
+                dirs.retain(|&d| Some(d) != in_port);
+                out.extend(dirs.into_iter().map(|d| (d, VcId(v))));
+            }
+            out
+        }
+    }
+
+    #[test]
+    fn nara_virtual_network_pair_is_acyclic() {
+        let m = Mesh2D::new(4, 4);
+        let f = FaultSet::new();
+        let g = ChannelDependencyGraph::build(&m, &f, 2, &nara_pair(&m));
+        assert!(!g.has_cycle(), "the two-virtual-network turn model is deadlock-free");
+        assert!(g.num_used_channels() > 0);
+    }
+
+    #[test]
+    fn nara_virtual_network_pair_stays_acyclic_under_faults() {
+        let m = Mesh2D::new(4, 4);
+        let mut f = FaultSet::new();
+        f.fail_link(&m, m.node_at(1, 1), EAST);
+        f.fail_link(&m, m.node_at(2, 2), NORTH);
+        let g = ChannelDependencyGraph::build(&m, &f, 2, &nara_pair(&m));
+        assert!(!g.has_cycle());
+    }
+
+    /// Deterministic shortest-way dimension-order routing on a torus; with
+    /// `vcs = 1` the wrap links close dependency rings, with `vcs = 2` a
+    /// dateline upgrade (VC 1 after crossing the wrap link) breaks them.
+    fn torus_dor(
+        t: &crate::Torus2D,
+        vcs: usize,
+    ) -> impl Fn(NodeId, Option<(PortId, VcId)>, NodeId) -> Vec<(PortId, VcId)> + '_ {
+        move |cur, inc, dst| {
+            if cur == dst {
+                return vec![];
+            }
+            let (cx, cy) = t.coords(cur);
+            let (dx, dy) = t.coords(dst);
+            let (w, h) = (t.width(), t.height());
+            let ring = |off: u32, size: u32, pos: u32, fwd: PortId, bwd: PortId| {
+                let forward = off <= size / 2;
+                let port = if forward { fwd } else { bwd };
+                let wraps = (forward && pos == size - 1) || (!forward && pos == 0);
+                (port, wraps)
+            };
+            let ox = (dx + w - cx) % w;
+            let (port, wraps, same_dim) = if ox != 0 {
+                let (p, wr) = ring(ox, w, cx, EAST, WEST);
+                (p, wr, [EAST, WEST])
+            } else {
+                let oy = (dy + h - cy) % h;
+                let (p, wr) = ring(oy, h, cy, NORTH, SOUTH);
+                (p, wr, [NORTH, SOUTH])
+            };
+            let carried = match inc {
+                Some((ip, iv)) if same_dim.contains(&ip) => iv.idx() as u8,
+                _ => 0,
+            };
+            let vc = if vcs > 1 && wraps { 1 } else { carried };
+            vec![(port, VcId(vc))]
+        }
+    }
+
+    #[test]
+    fn torus_wraparound_closes_a_ring_on_one_vc() {
+        let t = crate::Torus2D::new(4, 4);
+        let f = FaultSet::new();
+        let g = ChannelDependencyGraph::build(&t, &f, 1, &torus_dor(&t, 1));
+        let cyc = g.find_cycle().expect("torus DOR without datelines deadlocks");
+        // the witness is a full unidirectional ring of one dimension
+        assert_eq!(cyc.len(), 4, "expected a wrap ring, got {cyc:?}");
+        let port = cyc[0].port;
+        assert!(cyc.iter().all(|c| c.port == port), "mixed-port witness {cyc:?}");
+    }
+
+    #[test]
+    fn torus_dateline_virtual_channels_are_acyclic() {
+        let t = crate::Torus2D::new(4, 4);
+        let f = FaultSet::new();
+        let g = ChannelDependencyGraph::build(&t, &f, 2, &torus_dor(&t, 2));
+        assert!(!g.has_cycle(), "dateline VCs break torus wrap cycles");
+        assert!(g.num_used_channels() > 0);
     }
 }

@@ -71,9 +71,7 @@ impl FaultSet {
         match topo.neighbor(n, p) {
             None => false,
             Some(m) => {
-                !self.node_faulty(n)
-                    && !self.node_faulty(m)
-                    && !self.link_faulty(topo, n, p)
+                !self.node_faulty(n) && !self.node_faulty(m) && !self.link_faulty(topo, n, p)
             }
         }
     }
@@ -105,9 +103,7 @@ impl FaultSet {
 
     /// Number of healthy links incident to `n` (its residual degree).
     pub fn healthy_degree(&self, topo: &dyn Topology, n: NodeId) -> usize {
-        topo.ports()
-            .filter(|&p| self.link_usable(topo, n, p))
-            .count()
+        topo.ports().filter(|&p| self.link_usable(topo, n, p)).count()
     }
 
     /// Draws `count` distinct random link faults, optionally rejecting draws

@@ -41,12 +41,7 @@ pub fn bfs_distances(topo: &dyn Topology, faults: &FaultSet, src: NodeId) -> Vec
 
 /// Shortest-path distance between two nodes over usable links, or `None` if
 /// disconnected.
-pub fn distance(
-    topo: &dyn Topology,
-    faults: &FaultSet,
-    a: NodeId,
-    b: NodeId,
-) -> Option<u32> {
+pub fn distance(topo: &dyn Topology, faults: &FaultSet, a: NodeId, b: NodeId) -> Option<u32> {
     let d = bfs_distances(topo, faults, a)[b.idx()];
     (d != UNREACHABLE).then_some(d)
 }
@@ -86,9 +81,7 @@ pub fn is_connected(topo: &dyn Topology, faults: &FaultSet) -> bool {
         None => return true,
     };
     let dist = bfs_distances(topo, faults, start);
-    topo.nodes()
-        .filter(|&n| !faults.node_faulty(n))
-        .all(|n| dist[n.idx()] != UNREACHABLE)
+    topo.nodes().filter(|&n| !faults.node_faulty(n)).all(|n| dist[n.idx()] != UNREACHABLE)
 }
 
 /// Component label for every node: faulty nodes get `None`, alive nodes get
@@ -113,12 +106,7 @@ pub fn components(topo: &dyn Topology, faults: &FaultSet) -> Vec<Option<u32>> {
 
 /// True if at least one *minimal* (in the fault-free topology) path between
 /// `a` and `b` survives the faults — the premise of condition 2 (§2.1).
-pub fn minimal_path_survives(
-    topo: &dyn Topology,
-    faults: &FaultSet,
-    a: NodeId,
-    b: NodeId,
-) -> bool {
+pub fn minimal_path_survives(topo: &dyn Topology, faults: &FaultSet, a: NodeId, b: NodeId) -> bool {
     distance(topo, faults, a, b) == Some(topo.min_distance(a, b))
 }
 
@@ -132,18 +120,12 @@ pub fn all_minimal_paths_intact(
     a: NodeId,
     b: NodeId,
 ) -> bool {
-    count_minimal_paths(topo, &FaultSet::new(), a, b)
-        == count_minimal_paths(topo, faults, a, b)
+    count_minimal_paths(topo, &FaultSet::new(), a, b) == count_minimal_paths(topo, faults, a, b)
 }
 
 /// Number of minimal-length (w.r.t. the fault-free topology) paths from `a`
 /// to `b` that only use usable links, saturating at `u64::MAX`.
-pub fn count_minimal_paths(
-    topo: &dyn Topology,
-    faults: &FaultSet,
-    a: NodeId,
-    b: NodeId,
-) -> u64 {
+pub fn count_minimal_paths(topo: &dyn Topology, faults: &FaultSet, a: NodeId, b: NodeId) -> u64 {
     if faults.node_faulty(a) || faults.node_faulty(b) {
         return 0;
     }
@@ -156,8 +138,7 @@ pub fn count_minimal_paths(
     let mut order: Vec<NodeId> = topo
         .nodes()
         .filter(|&n| {
-            !faults.node_faulty(n)
-                && topo.min_distance(a, n) + topo.min_distance(n, b) == target
+            !faults.node_faulty(n) && topo.min_distance(a, n) + topo.min_distance(n, b) == target
         })
         .collect();
     order.sort_by_key(|&n| std::cmp::Reverse(topo.min_distance(a, n)));

@@ -38,10 +38,7 @@ impl Hypercube {
     /// The dimensions (as ports) along minimal paths from `a` to `b`.
     pub fn minimal_dimensions(&self, a: NodeId, b: NodeId) -> Vec<PortId> {
         let d = self.diff(a, b);
-        (0..self.dim)
-            .filter(|i| d & (1 << i) != 0)
-            .map(|i| PortId(i as u8))
-            .collect()
+        (0..self.dim).filter(|i| d & (1 << i) != 0).map(|i| PortId(i as u8)).collect()
     }
 }
 

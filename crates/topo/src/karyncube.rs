@@ -94,12 +94,7 @@ impl KAryNCube {
 
 impl Topology for KAryNCube {
     fn name(&self) -> String {
-        format!(
-            "{}-ary {}-{}",
-            self.radix,
-            self.dims,
-            if self.wrap { "torus" } else { "mesh" }
-        )
+        format!("{}-ary {}-{}", self.radix, self.dims, if self.wrap { "torus" } else { "mesh" })
     }
 
     fn num_nodes(&self) -> usize {

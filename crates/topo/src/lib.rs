@@ -108,9 +108,7 @@ pub trait Topology: Send + Sync {
 
     /// Neighbours of `n` as `(port, node)` pairs.
     fn neighbors(&self, n: NodeId) -> Vec<(PortId, NodeId)> {
-        self.ports()
-            .filter_map(|p| self.neighbor(n, p).map(|m| (p, m)))
-            .collect()
+        self.ports().filter_map(|p| self.neighbor(n, p).map(|m| (p, m))).collect()
     }
 }
 

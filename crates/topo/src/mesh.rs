@@ -36,10 +36,7 @@ impl Mesh2D {
     /// Creates a mesh. Panics if either dimension is zero.
     pub fn new(width: u32, height: u32) -> Self {
         assert!(width > 0 && height > 0, "mesh dimensions must be positive");
-        assert!(
-            (width as u64) * (height as u64) <= u32::MAX as u64,
-            "mesh too large"
-        );
+        assert!((width as u64) * (height as u64) <= u32::MAX as u64, "mesh too large");
         Mesh2D { width, height }
     }
 

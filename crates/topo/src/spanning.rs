@@ -139,11 +139,8 @@ impl SpanningTree {
     /// Fraction of *healthy* links that the tree uses (§2.1: "only a small
     /// fraction of the network links").
     pub fn link_fraction(&self, topo: &dyn Topology, faults: &FaultSet) -> f64 {
-        let healthy = topo
-            .links()
-            .iter()
-            .filter(|l| faults.link_usable(topo, l.node, l.port))
-            .count();
+        let healthy =
+            topo.links().iter().filter(|l| faults.link_usable(topo, l.node, l.port)).count();
         if healthy == 0 {
             return 0.0;
         }

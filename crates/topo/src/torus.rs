@@ -79,8 +79,7 @@ impl Topology for Torus2D {
     fn min_distance(&self, a: NodeId, b: NodeId) -> u32 {
         let (ax, ay) = self.coords(a);
         let (bx, by) = self.coords(b);
-        Self::wrap_dist(ax.abs_diff(bx), self.width)
-            + Self::wrap_dist(ay.abs_diff(by), self.height)
+        Self::wrap_dist(ax.abs_diff(bx), self.width) + Self::wrap_dist(ay.abs_diff(by), self.height)
     }
 }
 

@@ -62,10 +62,7 @@ fn main() {
     println!("\ntotals:");
     println!("  injected     {}", s.injected_msgs);
     println!("  delivered    {}", s.delivered_msgs);
-    println!(
-        "  ripped worms {} (messages cut by a fault mid-flight; higher-level",
-        s.killed_msgs
-    );
+    println!("  ripped worms {} (messages cut by a fault mid-flight; higher-level", s.killed_msgs);
     println!("               protocols would retransmit exactly these few)");
     println!("  unroutable   {}", s.unroutable_msgs);
     println!("  mean latency {:.1} cycles", s.latency.mean());

@@ -93,8 +93,14 @@ fn main() {
     println!("\ntraffic results with 3/64 nodes dead:");
     println!("  delivered    {} / {}", s.delivered_msgs, s.injected_msgs);
     println!("  mean latency {:.1} cycles", s.latency.mean());
-    println!("  mean detour  {:.3} extra hops (misrouting around unsafe nodes)", s.mean_excess_hops());
-    println!("  decisions    {:.2} rule interpretations each (paper: always 2)", s.decision_steps.mean());
+    println!(
+        "  mean detour  {:.3} extra hops (misrouting around unsafe nodes)",
+        s.mean_excess_hops()
+    );
+    println!(
+        "  decisions    {:.2} rule interpretations each (paper: always 2)",
+        s.decision_steps.mean()
+    );
     assert!(!s.deadlock);
     assert_eq!(s.unroutable_msgs, 0, "3 faults are well within ROUTE_C's tolerance");
 }

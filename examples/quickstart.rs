@@ -16,10 +16,7 @@ fn main() {
     let cfg = configure("xy", ftrouter::algos::rules_src::XY).expect("program compiles");
     println!("compiled `{}`:", cfg.name);
     for rb in &cfg.cost.rulebases {
-        println!(
-            "  rule base {:<12} {:>5} entries x {} bits",
-            rb.name, rb.entries, rb.width_bits
-        );
+        println!("  rule base {:<12} {:>5} entries x {} bits", rb.name, rb.entries, rb.width_bits);
     }
 
     // 2. Load it into the router and build a 4x4 mesh network.

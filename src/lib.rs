@@ -1,1 +1,5 @@
-pub use ftr_algos as algos; pub use ftr_core as core; pub use ftr_rules as rules; pub use ftr_sim as sim; pub use ftr_topo as topo;
+pub use ftr_algos as algos;
+pub use ftr_core as core;
+pub use ftr_rules as rules;
+pub use ftr_sim as sim;
+pub use ftr_topo as topo;

@@ -92,7 +92,10 @@ fn rule_driven_nafta_program_matches_nara_fault_free() {
     let net = all_pairs(&mesh, &router);
     assert_eq!(net.stats.delivered_msgs, 240);
     assert_eq!(net.stats.excess_hops, 0, "minimal like NARA");
-    assert!(net.stats.decision_steps.max <= 2, "contention may escalate to the ft base, faults never seen");
+    assert!(
+        net.stats.decision_steps.max <= 2,
+        "contention may escalate to the ft base, faults never seen"
+    );
 }
 
 #[test]
@@ -189,11 +192,8 @@ fn rule_driven_route_c_matches_native_behaviour() {
     // rule machine: identical delivery, minimality and step profile
     let cube = Hypercube::new(4);
     let native = RouteC::new(cube.clone());
-    let cfg = ftrouter::core::configure(
-        "route_c",
-        &ftrouter::algos::rules_src::route_c_source(4),
-    )
-    .unwrap();
+    let cfg = ftrouter::core::configure("route_c", &ftrouter::algos::rules_src::route_c_source(4))
+        .unwrap();
     let ruled = ftrouter::core::CubeRuleRouter::new(cfg, cube.clone());
 
     let mut results = Vec::new();

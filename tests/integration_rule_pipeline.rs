@@ -2,17 +2,12 @@
 //! the shipped programs, with the compiled interpreter differentially
 //! tested against the reference evaluator on randomized states.
 
-use ftrouter::rules::{
-    compile, fire_reference, parse, CompileOptions, InputMap, RegFile, Value,
-};
+use ftrouter::rules::{compile, fire_reference, parse, CompileOptions, InputMap, RegFile, Value};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// Randomizes every register and input of a program within their domains.
-fn randomize(
-    prog: &ftrouter::rules::Program,
-    rng: &mut StdRng,
-) -> (RegFile, InputMap) {
+fn randomize(prog: &ftrouter::rules::Program, rng: &mut StdRng) -> (RegFile, InputMap) {
     let ss = prog.sym_sizes();
     let mut regs = RegFile::new(prog);
     for (vi, v) in prog.vars.iter().enumerate() {
@@ -83,8 +78,8 @@ fn compiled_interpreter_matches_reference_on_shipped_programs() {
     let mut rng = StdRng::seed_from_u64(2024);
     for (name, src) in ftrouter::algos::rules_src::all() {
         let prog = parse(src).unwrap_or_else(|e| panic!("{name}: {e}"));
-        let compiled = compile(&prog, &CompileOptions::default())
-            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let compiled =
+            compile(&prog, &CompileOptions::default()).unwrap_or_else(|e| panic!("{name}: {e}"));
         let ss = prog.sym_sizes();
 
         for (rbi, rb) in prog.rulebases.iter().enumerate() {
@@ -101,8 +96,7 @@ fn compiled_interpreter_matches_reference_on_shipped_programs() {
                     .collect();
 
                 let reference = fire_reference(&prog, rbi, &params, &mut regs_a, &im);
-                let compiled_out =
-                    compiled.bases[rbi].fire(&prog, &params, &mut regs_b, &im);
+                let compiled_out = compiled.bases[rbi].fire(&prog, &params, &mut regs_b, &im);
 
                 match (reference, compiled_out) {
                     (Ok(r), Ok(c)) => {
@@ -111,17 +105,12 @@ fn compiled_interpreter_matches_reference_on_shipped_programs() {
                             "{name}/{}: outcome diverged (params {params:?})",
                             rb.name
                         );
-                        assert_eq!(
-                            regs_a, regs_b,
-                            "{name}/{}: post-state diverged",
-                            rb.name
-                        );
+                        assert_eq!(regs_a, regs_b, "{name}/{}: post-state diverged", rb.name);
                     }
                     (Err(_), Err(_)) => {} // both reject (e.g. domain overflow)
-                    (r, c) => panic!(
-                        "{name}/{}: one side errored: ref={r:?} compiled={c:?}",
-                        rb.name
-                    ),
+                    (r, c) => {
+                        panic!("{name}/{}: one side errored: ref={r:?} compiled={c:?}", rb.name)
+                    }
                 }
             }
         }
@@ -154,8 +143,8 @@ fn pretty_roundtrip_shipped_programs() {
     for (name, src) in ftrouter::algos::rules_src::all() {
         let p1 = parse(src).unwrap();
         let printed = print_program(&p1);
-        let p2 = parse(&printed)
-            .unwrap_or_else(|e| panic!("{name} reparse failed: {e}\n{printed}"));
+        let p2 =
+            parse(&printed).unwrap_or_else(|e| panic!("{name} reparse failed: {e}\n{printed}"));
         let o = CompileOptions::default();
         let c1 = compile(&p1, &o).unwrap();
         let c2 = compile(&p2, &o).unwrap();

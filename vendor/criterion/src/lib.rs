@@ -1,0 +1,159 @@
+//! Offline stand-in for `criterion`. Provides the macro and type surface
+//! the workspace's benches use (`criterion_group!`/`criterion_main!`,
+//! `Criterion::benchmark_group`, `bench_function`, `iter`,
+//! `iter_batched`, `BatchSize`) with a simple warm-up + fixed-duration
+//! measurement loop instead of criterion's statistical machinery. Good
+//! enough to smoke-run the benches and print per-iteration times;
+//! numbers are indicative, not rigorous.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export position matching `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Batch sizing hints, API-compatible with criterion's enum.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration state: batches of many iterations.
+    SmallInput,
+    /// Larger per-iteration state.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { measure: Duration::from_millis(300) }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into() }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(self.measure, &id.to_string(), f);
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim's fixed measurement
+    /// window makes the statistical sample count moot.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.criterion.measure = t;
+        self
+    }
+
+    /// Times `f` and prints a mean per-iteration figure.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(self.criterion.measure, &label, f);
+        self
+    }
+
+    /// Ends the group (printing is immediate, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(measure: Duration, label: &str, mut f: F) {
+    // Warm-up pass so lazy initialisation doesn't pollute the figure.
+    let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+    f(&mut b);
+
+    let mut iters: u64 = 1;
+    let mut total = Duration::ZERO;
+    let mut done: u64 = 0;
+    let start = Instant::now();
+    while start.elapsed() < measure {
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        total += b.elapsed;
+        done += iters;
+        iters = (iters * 2).min(1 << 20);
+    }
+    let per_iter = if done > 0 { total / done as u32 } else { Duration::ZERO };
+    println!("{label:<48} {per_iter:>12.2?}/iter  ({done} iterations)");
+}
+
+/// Per-benchmark timing handle.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` over fresh inputs built by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut elapsed = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            elapsed += start.elapsed();
+        }
+        self.elapsed = elapsed;
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

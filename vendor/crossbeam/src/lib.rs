@@ -1,0 +1,77 @@
+//! Offline stand-in for `crossbeam`, providing the `thread::scope` API
+//! on top of `std::thread::scope` (stabilised in Rust 1.63, after
+//! crossbeam's scoped threads were designed). Only the surface this
+//! workspace uses is provided. One deliberate deviation: the scope
+//! handle is passed to closures by value (it is `Copy`) rather than by
+//! reference, which sidesteps the invariance of `std::thread::Scope`;
+//! `|s| ...` / `|_| ...` call sites are source-compatible.
+
+/// Scoped threads mirroring `crossbeam::thread`.
+pub mod thread {
+    use std::thread as std_thread;
+
+    /// Panic payload carried out of a scope whose thread panicked.
+    pub type Payload = Box<dyn std::any::Any + Send + 'static>;
+
+    /// Copyable spawn handle wrapping `std::thread::Scope`.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std_thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope again
+        /// (crossbeam's signature) so nested spawns are possible.
+        pub fn spawn<F, T>(self, f: F) -> std_thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            self.inner.spawn(move || f(self))
+        }
+    }
+
+    /// Runs `f` with a scope in which threads can borrow from the caller;
+    /// joins them all before returning. Returns `Err` if any spawned
+    /// thread panicked (crossbeam's contract), carrying the panic
+    /// payload.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Payload>
+    where
+        F: for<'scope> FnOnce(Scope<'scope, 'env>) -> R,
+    {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std_thread::scope(|s| f(Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_and_borrows() {
+        let data = vec![1, 2, 3];
+        let sum = std::sync::atomic::AtomicI32::new(0);
+        let sum_ref = &sum;
+        super::thread::scope(|s| {
+            for &x in &data {
+                s.spawn(move |_| sum_ref.fetch_add(x, std::sync::atomic::Ordering::Relaxed));
+            }
+        })
+        .unwrap();
+        assert_eq!(sum.load(std::sync::atomic::Ordering::Relaxed), 6);
+    }
+
+    #[test]
+    fn scope_reports_panics() {
+        let r = super::thread::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,359 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API this workspace's property
+//! tests use: `Strategy` with `prop_map`/`boxed`, range and tuple
+//! strategies, `Just`, `any`, `prop_oneof!`, `collection::vec`,
+//! `array::uniform4`, the `proptest!` test macro, and the
+//! `prop_assert*`/`prop_assume!` macros. Cases are generated from a
+//! deterministic per-test seed (an FNV hash of the test name), so runs
+//! are reproducible; there is no shrinking — a failing case reports its
+//! generated inputs' case number instead.
+
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Something usable as a collection size: an exact size or a range.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // inclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi: r.end - 1 }
+        }
+    }
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange { lo: *r.start(), hi: *r.end() }
+        }
+    }
+
+    /// Strategy producing `Vec`s of values from an element strategy.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Builds a vector strategy with the given element strategy and size.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let span = self.size.hi - self.size.lo + 1;
+            let n = self.size.lo + (rng.next_u64() as usize) % span;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Fixed-size array strategies (`proptest::array::uniform4`).
+pub mod array {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy producing `[T; N]` from one element strategy.
+    pub struct UniformArray<S, const N: usize>(S);
+
+    impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N> {
+        type Value = [S::Value; N];
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            std::array::from_fn(|_| self.0.generate(rng))
+        }
+    }
+
+    /// Builds a 4-element array strategy.
+    pub fn uniform4<S: Strategy>(element: S) -> UniformArray<S, 4> {
+        UniformArray(element)
+    }
+}
+
+/// Types with a canonical strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// The canonical strategy for the type.
+    type Strategy: strategy::Strategy<Value = Self>;
+    /// Returns the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Strategy over a type's full value range.
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty => $conv:expr),* $(,)?) => {$(
+        impl Arbitrary for $t {
+            type Strategy = AnyStrategy<$t>;
+            fn arbitrary() -> Self::Strategy {
+                AnyStrategy(std::marker::PhantomData)
+            }
+        }
+        impl strategy::Strategy for AnyStrategy<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut test_runner::TestRng) -> $t {
+                let conv: fn(u64) -> $t = $conv;
+                conv(rng.next_u64())
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(
+    u8 => |v| v as u8,
+    u16 => |v| v as u16,
+    u32 => |v| v as u32,
+    u64 => |v| v,
+    usize => |v| v as usize,
+    i8 => |v| v as i8,
+    i16 => |v| v as i16,
+    i32 => |v| v as i32,
+    i64 => |v| v as i64,
+    bool => |v| v & 1 == 1,
+);
+
+impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
+    type Strategy = ArrayAnyStrategy<T::Strategy, N>;
+    fn arbitrary() -> Self::Strategy {
+        ArrayAnyStrategy(std::array::from_fn(|_| T::arbitrary()))
+    }
+}
+
+/// Canonical strategy for arrays of `Arbitrary` elements.
+pub struct ArrayAnyStrategy<S, const N: usize>([S; N]);
+
+impl<S: strategy::Strategy, const N: usize> strategy::Strategy for ArrayAnyStrategy<S, N> {
+    type Value = [S::Value; N];
+    fn generate(&self, rng: &mut test_runner::TestRng) -> Self::Value {
+        std::array::from_fn(|i| self.0[i].generate(rng))
+    }
+}
+
+/// Returns the canonical strategy for `T` (`any::<u8>()` etc.).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+// ---- range strategies ------------------------------------------------
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl strategy::Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut test_runner::TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+        impl strategy::Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut test_runner::TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = (rng.next_u64() as u128) % span;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl strategy::Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut test_runner::TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+/// Error raised by `prop_assert!`/`prop_assume!` inside a test case.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// Assertion failure: the property does not hold.
+    Fail(String),
+    /// Assumption failure: skip this case.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure error.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+    /// Builds a rejection (skipped case).
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+    /// True if the case should be skipped rather than failed.
+    pub fn is_rejection(&self) -> bool {
+        matches!(self, TestCaseError::Reject(_))
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "{m}"),
+            TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+        }
+    }
+}
+
+/// Everything a property test file typically imports.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{any, Arbitrary, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+// ---- macros ----------------------------------------------------------
+
+/// Chooses uniformly between several strategies for the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a proptest case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a proptest case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a == *b,
+            "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`)",
+            stringify!($a), stringify!($b), a, b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a == *b,
+            "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`): {}",
+            stringify!($a), stringify!($b), a, b, format!($($fmt)+)
+        );
+    }};
+}
+
+/// Asserts inequality inside a proptest case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a != *b,
+            "assertion failed: `{} != {}` (both: `{:?}`)",
+            stringify!($a), stringify!($b), a
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a != *b,
+            "assertion failed: `{} != {}` (both: `{:?}`): {}",
+            stringify!($a), stringify!($b), a, format!($($fmt)+)
+        );
+    }};
+}
+
+/// Skips the current case when an assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($cfg) $($rest)*);
+    };
+    (@impl ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            // Deterministic per-test seed: FNV-1a over the test name.
+            let mut seed: u64 = 0xcbf2_9ce4_8422_2325;
+            for byte in stringify!($name).bytes() {
+                seed ^= byte as u64;
+                seed = seed.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            let mut rng = $crate::test_runner::TestRng::new(seed);
+            let mut ran: u32 = 0;
+            let mut rejected: u32 = 0;
+            let max_attempts = config.cases.saturating_mul(8).max(64);
+            let mut attempts: u32 = 0;
+            while ran < config.cases && attempts < max_attempts {
+                attempts += 1;
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                let outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                    $body
+                    #[allow(unreachable_code)]
+                    ::std::result::Result::Ok(())
+                })();
+                match outcome {
+                    ::std::result::Result::Ok(()) => ran += 1,
+                    ::std::result::Result::Err(e) if e.is_rejection() => rejected += 1,
+                    ::std::result::Result::Err(e) => {
+                        panic!("proptest case {} of `{}` failed: {}", ran, stringify!($name), e)
+                    }
+                }
+            }
+            let _ = rejected;
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}

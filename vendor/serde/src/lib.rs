@@ -1,0 +1,31 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! This workspace builds in a hermetic environment with no registry
+//! access, and nothing in the tree actually serializes anything yet (the
+//! real crates only `#[derive(Serialize, Deserialize)]` for
+//! forward-compatibility). This shim keeps those derives compiling: the
+//! traits exist, and the derive macros expand to nothing. Swap the
+//! `[workspace.dependencies]` entry back to the registry version when a
+//! real serializer is needed.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize<'de>`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker trait mirroring `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+/// Sub-module so `serde::de::...` paths resolve.
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}
+
+/// Sub-module so `serde::ser::...` paths resolve.
+pub mod ser {
+    pub use crate::Serialize;
+}

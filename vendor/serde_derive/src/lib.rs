@@ -1,0 +1,19 @@
+//! No-op derive macros backing the offline `serde` shim.
+//!
+//! `#[derive(Serialize, Deserialize)]` throughout the workspace is kept
+//! for forward-compatibility; no code path serializes anything, so the
+//! derives can safely expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; accepts and ignores `#[serde(...)]` attributes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; accepts and ignores `#[serde(...)]` attributes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
