@@ -14,7 +14,7 @@
 
 use ftr_sim::flit::{Header, MessageId};
 use ftr_sim::routing::RoutingAlgorithm;
-use ftr_sim::{Network, SimConfig};
+use ftr_sim::Network;
 use ftr_topo::{cdg::ChannelDependencyGraph, graph, FaultSet, NodeId, PortId, Topology, VcId};
 use std::cell::RefCell;
 use std::collections::{HashMap, VecDeque};
@@ -27,7 +27,7 @@ fn prepared_network<T: Topology + Clone + 'static>(
     algo: &dyn RoutingAlgorithm,
     faults: &FaultSet,
 ) -> Network {
-    let mut net = Network::new(Arc::new(topo.clone()), algo, SimConfig::default());
+    let mut net = Network::builder(Arc::new(topo.clone())).build(algo).expect("valid config");
     net.apply_fault_set(faults);
     net.settle_control(1_000_000).expect("control plane must settle");
     net

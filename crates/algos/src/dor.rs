@@ -185,14 +185,15 @@ impl NodeController for EcubeController {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ftr_sim::{Network, SimConfig};
+    use ftr_sim::Network;
     use std::sync::Arc;
 
     #[test]
     fn xy_delivers_everything() {
         let mesh = Mesh2D::new(4, 4);
         let topo = Arc::new(mesh.clone());
-        let mut net = Network::new(topo.clone(), &XyRouting::new(mesh), SimConfig::default());
+        let mut net =
+            Network::builder(topo.clone()).build(&XyRouting::new(mesh)).expect("valid config");
         for a in topo.nodes() {
             for b in topo.nodes() {
                 if a != b {
@@ -211,7 +212,8 @@ mod tests {
     fn xy_fails_on_path_fault() {
         let mesh = Mesh2D::new(4, 1);
         let topo = Arc::new(mesh.clone());
-        let mut net = Network::new(topo.clone(), &XyRouting::new(mesh), SimConfig::default());
+        let mut net =
+            Network::builder(topo.clone()).build(&XyRouting::new(mesh)).expect("valid config");
         net.inject_link_fault(topo.node_at(1, 0), EAST);
         net.send(topo.node_at(0, 0), topo.node_at(3, 0), 2);
         net.run(50);
@@ -222,7 +224,8 @@ mod tests {
     fn ecube_delivers_everything() {
         let cube = Hypercube::new(4);
         let topo = Arc::new(cube.clone());
-        let mut net = Network::new(topo.clone(), &EcubeRouting::new(cube), SimConfig::default());
+        let mut net =
+            Network::builder(topo.clone()).build(&EcubeRouting::new(cube)).expect("valid config");
         for a in topo.nodes() {
             for b in topo.nodes() {
                 if a != b {
@@ -365,7 +368,7 @@ impl NodeController for KAryDorController {
 #[cfg(test)]
 mod kary_tests {
     use super::*;
-    use ftr_sim::{Network, SimConfig};
+    use ftr_sim::Network;
     use ftr_topo::KAryNCube;
     use std::sync::Arc;
 
@@ -373,7 +376,8 @@ mod kary_tests {
     fn three_d_mesh_all_pairs() {
         let cube = KAryNCube::mesh(3, 3);
         let topo = Arc::new(cube.clone());
-        let mut net = Network::new(topo.clone(), &KAryDor::new(cube), SimConfig::default());
+        let mut net =
+            Network::builder(topo.clone()).build(&KAryDor::new(cube)).expect("valid config");
         net.set_measuring(true);
         for a in topo.nodes() {
             for b in topo.nodes() {

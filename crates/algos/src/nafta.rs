@@ -502,13 +502,14 @@ impl NodeController for NaftaController {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ftr_sim::{Network, Pattern, SimConfig, TrafficSource};
+    use ftr_sim::{Network, Pattern, TrafficSource};
     use ftr_topo::FaultSet;
     use std::sync::Arc;
 
     fn net_with(mesh: &Mesh2D, faults: &[(u32, u32, PortId)]) -> Network {
         let topo = Arc::new(mesh.clone());
-        let mut net = Network::new(topo.clone(), &Nafta::new(mesh.clone()), SimConfig::default());
+        let mut net =
+            Network::builder(topo.clone()).build(&Nafta::new(mesh.clone())).expect("valid config");
         for &(x, y, p) in faults {
             net.inject_link_fault(topo.node_at(x, y), p);
         }
@@ -648,7 +649,8 @@ mod tests {
     fn sustained_traffic_with_faults_drains() {
         let mesh = Mesh2D::new(6, 6);
         let topo = Arc::new(mesh.clone());
-        let mut net = Network::new(topo.clone(), &Nafta::new(mesh.clone()), SimConfig::default());
+        let mut net =
+            Network::builder(topo.clone()).build(&Nafta::new(mesh.clone())).expect("valid config");
         net.inject_link_fault(topo.node_at(2, 2), EAST);
         net.inject_link_fault(topo.node_at(3, 3), NORTH);
         net.settle_control(10_000).unwrap();
@@ -669,7 +671,8 @@ mod tests {
     fn dynamic_fault_mid_run_recovers() {
         let mesh = Mesh2D::new(6, 6);
         let topo = Arc::new(mesh.clone());
-        let mut net = Network::new(topo.clone(), &Nafta::new(mesh.clone()), SimConfig::default());
+        let mut net =
+            Network::builder(topo.clone()).build(&Nafta::new(mesh.clone())).expect("valid config");
         let mut tf = TrafficSource::new(Pattern::Uniform, 0.15, 4, 21);
         for cycle in 0..2_000u32 {
             if cycle == 700 {

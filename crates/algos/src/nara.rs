@@ -177,7 +177,7 @@ impl NodeController for NaraController {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ftr_sim::{Network, Pattern, SimConfig, TrafficSource};
+    use ftr_sim::{Network, Pattern, TrafficSource};
     use std::sync::Arc;
 
     #[test]
@@ -194,7 +194,7 @@ mod tests {
     fn all_pairs_delivered_minimally() {
         let mesh = Mesh2D::new(4, 4);
         let topo = Arc::new(mesh.clone());
-        let mut net = Network::new(topo.clone(), &Nara::new(mesh), SimConfig::default());
+        let mut net = Network::builder(topo.clone()).build(&Nara::new(mesh)).expect("valid config");
         net.set_measuring(true);
         for a in topo.nodes() {
             for b in topo.nodes() {
@@ -213,7 +213,7 @@ mod tests {
     fn sustained_uniform_load_no_deadlock() {
         let mesh = Mesh2D::new(6, 6);
         let topo = Arc::new(mesh.clone());
-        let mut net = Network::new(topo.clone(), &Nara::new(mesh), SimConfig::default());
+        let mut net = Network::builder(topo.clone()).build(&Nara::new(mesh)).expect("valid config");
         let mut tf = TrafficSource::new(Pattern::Uniform, 0.3, 4, 5);
         for _ in 0..2_000 {
             for (s, d, l) in tf.tick(topo.as_ref(), net.faults()) {
@@ -250,7 +250,7 @@ mod tests {
     fn fault_on_only_path_is_fatal() {
         let mesh = Mesh2D::new(4, 4);
         let topo = Arc::new(mesh.clone());
-        let mut net = Network::new(topo.clone(), &Nara::new(mesh), SimConfig::default());
+        let mut net = Network::builder(topo.clone()).build(&Nara::new(mesh)).expect("valid config");
         // cut both minimal first hops from the corner for dst (1,1):
         net.inject_link_fault(topo.node_at(0, 0), ftr_topo::EAST);
         net.inject_link_fault(topo.node_at(0, 0), NORTH);

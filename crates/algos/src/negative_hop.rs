@@ -164,7 +164,7 @@ impl NodeController for NhController {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ftr_sim::{Network, Pattern, SimConfig, TrafficSource};
+    use ftr_sim::{Network, Pattern, TrafficSource};
     use ftr_topo::{FaultSet, EAST, NORTH};
     use std::sync::Arc;
 
@@ -194,7 +194,7 @@ mod tests {
     fn all_pairs_delivered_minimally() {
         let m = Mesh2D::new(4, 4);
         let algo = NegativeHop::new(m.clone(), 4);
-        let mut net = Network::new(Arc::new(m.clone()), &algo, SimConfig::default());
+        let mut net = Network::builder(Arc::new(m.clone())).build(&algo).expect("valid config");
         net.set_measuring(true);
         for a in m.nodes() {
             for b in m.nodes() {
@@ -227,7 +227,7 @@ mod tests {
     fn routes_around_faults_without_state() {
         let m = Mesh2D::new(5, 5);
         let algo = NegativeHop::new(m.clone(), 6);
-        let mut net = Network::new(Arc::new(m.clone()), &algo, SimConfig::default());
+        let mut net = Network::builder(Arc::new(m.clone())).build(&algo).expect("valid config");
         net.inject_link_fault(m.node_at(1, 1), EAST);
         net.inject_link_fault(m.node_at(2, 2), NORTH);
         // no settle needed: the scheme keeps no fault state at all

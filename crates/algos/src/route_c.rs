@@ -310,14 +310,15 @@ pub fn totally_unsafe(states: &[SafetyState]) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ftr_sim::{Network, Pattern, SimConfig, TrafficSource};
+    use ftr_sim::{Network, Pattern, TrafficSource};
     use ftr_topo::FaultSet;
     use std::sync::Arc;
 
     fn cube_net(dim: u32, node_faults: &[u32]) -> (Arc<Hypercube>, Network) {
         let cube = Hypercube::new(dim);
         let topo = Arc::new(cube.clone());
-        let mut net = Network::new(topo.clone(), &RouteC::new(cube), SimConfig::default());
+        let mut net =
+            Network::builder(topo.clone()).build(&RouteC::new(cube)).expect("valid config");
         for &n in node_faults {
             net.inject_node_fault(NodeId(n));
         }
@@ -346,7 +347,8 @@ mod tests {
     fn stripped_variant_single_step() {
         let cube = Hypercube::new(4);
         let topo = Arc::new(cube.clone());
-        let mut net = Network::new(topo.clone(), &RouteC::stripped(cube), SimConfig::default());
+        let mut net =
+            Network::builder(topo.clone()).build(&RouteC::stripped(cube)).expect("valid config");
         net.set_measuring(true);
         for a in topo.nodes() {
             for b in topo.nodes() {
@@ -393,7 +395,8 @@ mod tests {
     fn lfault_state_on_single_link_fault() {
         let cube = Hypercube::new(3);
         let topo = Arc::new(cube.clone());
-        let mut net = Network::new(topo.clone(), &RouteC::new(cube), SimConfig::default());
+        let mut net =
+            Network::builder(topo.clone()).build(&RouteC::new(cube)).expect("valid config");
         net.inject_link_fault(NodeId(0), PortId(0));
         net.settle_control(1_000).unwrap();
         let s = SafetyState::from_i64(net.controller(NodeId(0)).state_word());

@@ -139,7 +139,7 @@ impl<T: Topology + Clone + 'static> NodeController for TreeController<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ftr_sim::{Network, SimConfig};
+    use ftr_sim::Network;
     use ftr_topo::{Mesh2D, EAST};
 
     #[test]
@@ -147,7 +147,7 @@ mod tests {
         let mesh = Mesh2D::new(4, 4);
         let topo = Arc::new(mesh.clone());
         let algo = SpanningTreeRouting::new(mesh);
-        let mut net = Network::new(topo.clone(), &algo, SimConfig::default());
+        let mut net = Network::builder(topo.clone()).build(&algo).expect("valid config");
         net.set_measuring(true);
         for a in topo.nodes() {
             for b in topo.nodes() {
@@ -168,7 +168,7 @@ mod tests {
         let mesh = Mesh2D::new(4, 4);
         let topo = Arc::new(mesh.clone());
         let algo = SpanningTreeRouting::new(mesh);
-        let mut net = Network::new(topo.clone(), &algo, SimConfig::default());
+        let mut net = Network::builder(topo.clone()).build(&algo).expect("valid config");
         net.inject_link_fault(topo.node_at(0, 0), EAST);
         net.send(topo.node_at(0, 0), topo.node_at(3, 0), 2);
         assert!(net.drain(10_000));

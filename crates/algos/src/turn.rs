@@ -115,7 +115,7 @@ impl NodeController for WfController {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ftr_sim::{Network, SimConfig};
+    use ftr_sim::Network;
     use ftr_topo::FaultSet;
     use std::sync::Arc;
 
@@ -142,7 +142,8 @@ mod tests {
     fn all_pairs_delivered() {
         let m = Mesh2D::new(4, 4);
         let topo = Arc::new(m.clone());
-        let mut net = Network::new(topo.clone(), &WestFirst::new(m), SimConfig::default());
+        let mut net =
+            Network::builder(topo.clone()).build(&WestFirst::new(m)).expect("valid config");
         for a in topo.nodes() {
             for b in topo.nodes() {
                 if a != b {

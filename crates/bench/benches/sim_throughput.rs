@@ -6,13 +6,13 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use ftr_algos::{Nafta, Nara, XyRouting};
 use ftr_core::{registry, RuleRouter};
 use ftr_sim::routing::RoutingAlgorithm;
-use ftr_sim::{Network, Pattern, SimConfig, TrafficSource};
+use ftr_sim::{Network, Pattern, TrafficSource};
 use ftr_topo::Mesh2D;
 use std::hint::black_box;
 use std::sync::Arc;
 
 fn run_sim(mesh: &Mesh2D, algo: &dyn RoutingAlgorithm, cycles: u64) -> u64 {
-    let mut net = Network::new(Arc::new(mesh.clone()), algo, SimConfig::default());
+    let mut net = Network::builder(Arc::new(mesh.clone())).build(algo).expect("valid config");
     let mut tf = TrafficSource::new(Pattern::Uniform, 0.1, 4, 1);
     for _ in 0..cycles {
         for (s, d, l) in tf.tick(mesh, net.faults()) {

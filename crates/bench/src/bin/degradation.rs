@@ -33,7 +33,10 @@ fn main() {
             measure_load(&mesh, &algo, &faults, Pattern::Uniform, 0.15, 4, 1_000, 3_000, 21, cfg);
 
         // a separate run to collect detour/unroutable detail
-        let mut net = Network::new(Arc::new(mesh.clone()), &algo, cfg);
+        let mut net = Network::builder(Arc::new(mesh.clone()))
+            .config(cfg)
+            .build(&algo)
+            .expect("valid config");
         net.apply_fault_set(&faults);
         net.settle_control(100_000).unwrap();
         net.set_measuring(true);

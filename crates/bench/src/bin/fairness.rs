@@ -4,20 +4,31 @@
 //! compensate the double disadvantage of the longer path and higher loaded
 //! links." The simulator's switch allocator supports exactly that policy;
 //! this experiment measures the latency of detoured vs direct messages
-//! with the policy off and on.
+//! with the policy off and on. The table prints to stdout and the rows
+//! land in `results/fairness.json`.
 
 use ftr_algos::Nafta;
+use ftr_bench::results;
+use ftr_obs::json;
 use ftr_sim::{Network, Pattern, SimConfig, TrafficSource};
 use ftr_topo::{FaultSet, Mesh2D};
 use std::sync::Arc;
 
-fn run(prioritize: bool) -> (f64, f64, u64) {
+struct Row {
+    policy: &'static str,
+    direct: f64,
+    detoured: f64,
+    detoured_count: u64,
+}
+
+fn run(policy: &'static str, prioritize: bool) -> Row {
     let mesh = Mesh2D::new(8, 8);
     let mut faults = FaultSet::new();
     faults.inject_random_links(&mesh, 8, true, 41);
     let cfg = SimConfig { prioritize_misrouted: prioritize, ..Default::default() };
     let algo = Nafta::new(mesh.clone());
-    let mut net = Network::new(Arc::new(mesh.clone()), &algo, cfg);
+    let mut net =
+        Network::builder(Arc::new(mesh.clone())).config(cfg).build(&algo).expect("valid config");
     net.apply_fault_set(&faults);
     net.settle_control(100_000).unwrap();
     net.set_measuring(true);
@@ -29,11 +40,12 @@ fn run(prioritize: bool) -> (f64, f64, u64) {
         net.step();
     }
     net.drain(100_000);
-    (
-        net.stats.latency_direct.mean(),
-        net.stats.latency_detoured.mean(),
-        net.stats.latency_detoured.count,
-    )
+    Row {
+        policy,
+        direct: net.stats.latency_direct.mean(),
+        detoured: net.stats.latency_detoured.mean(),
+        detoured_count: net.stats.latency_detoured.count,
+    }
 }
 
 fn main() {
@@ -43,12 +55,35 @@ fn main() {
         "{:<22} {:>14} {:>16} {:>10}",
         "policy", "direct latency", "detoured latency", "detoured#"
     );
-    for (name, on) in [("round-robin", false), ("misrouted-first", true)] {
-        let (direct, detoured, n) = run(on);
-        println!("{:<22} {:>14.1} {:>16.1} {:>10}", name, direct, detoured, n);
+    let rows = [run("round-robin", false), run("misrouted-first", true)];
+    for r in &rows {
+        println!(
+            "{:<22} {:>14.1} {:>16.1} {:>10}",
+            r.policy, r.direct, r.detoured, r.detoured_count
+        );
     }
+
+    let payload = {
+        let mut root = json::Obj::new();
+        root.str("experiment", "E14 fairness ablation");
+        root.field(
+            "rows",
+            json::array(rows.iter().map(|r| {
+                let mut o = json::Obj::new();
+                o.str("policy", r.policy)
+                    .float("direct_latency", r.direct)
+                    .float("detoured_latency", r.detoured)
+                    .num("detoured_count", r.detoured_count);
+                o.finish()
+            })),
+        );
+        root.finish()
+    };
+    let path = results::write_json("fairness", &payload).expect("write results");
+
     println!(
         "\nExpected shape: the policy narrows the detoured-vs-direct latency\n\
          gap at a small cost to direct traffic — 'adaptivity in the small'."
     );
+    println!("wrote {}", path.display());
 }

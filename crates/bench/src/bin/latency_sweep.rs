@@ -12,9 +12,13 @@
 //!   2. decision time 1 vs 3 cycles/step for NARA (latency shift);
 //!   3. NAFTA with 0 / 4 / 8 link faults (graceful degradation);
 //!   4. ROUTE_C vs stripped ROUTE_C on a 5-cube (the always-2-steps cost).
+//!
+//! Tables print to stdout; the same curves land in
+//! `results/latency_sweep.json`.
 
 use ftr_algos::{Nafta, Nara, RouteC};
-use ftr_bench::{format_curve, measure_load, LoadPoint};
+use ftr_bench::{format_curve, measure_load, results, LoadPoint};
+use ftr_obs::json;
 use ftr_sim::routing::RoutingAlgorithm;
 use ftr_sim::{Pattern, SimConfig};
 use ftr_topo::{FaultSet, Hypercube, Mesh2D, Topology};
@@ -42,48 +46,54 @@ fn main() {
     let nara = Nara::new(mesh.clone());
     let nafta = Nafta::new(mesh.clone());
 
-    println!(
-        "{}",
-        format_curve("NARA, 8x8 mesh, fault-free", &curve(&mesh, &nara, &FaultSet::new(), cfg))
-    );
-    println!(
-        "{}",
-        format_curve("NAFTA, 8x8 mesh, fault-free", &curve(&mesh, &nafta, &FaultSet::new(), cfg))
-    );
+    let mut series: Vec<(String, Vec<LoadPoint>)> = Vec::new();
+
+    series.push(("NARA, 8x8 mesh, fault-free".into(), curve(&mesh, &nara, &FaultSet::new(), cfg)));
+    series
+        .push(("NAFTA, 8x8 mesh, fault-free".into(), curve(&mesh, &nafta, &FaultSet::new(), cfg)));
 
     let slow = SimConfig { decision_cycles_per_step: 3, ..cfg };
-    println!(
-        "{}",
-        format_curve(
-            "NARA, decision time 3 cycles/step ([DLO97] effect)",
-            &curve(&mesh, &nara, &FaultSet::new(), slow)
-        )
-    );
+    series.push((
+        "NARA, decision time 3 cycles/step ([DLO97] effect)".into(),
+        curve(&mesh, &nara, &FaultSet::new(), slow),
+    ));
 
     for n in [4usize, 8] {
         let mut faults = FaultSet::new();
         faults.inject_random_links(&mesh, n, true, 5);
-        println!(
-            "{}",
-            format_curve(
-                &format!("NAFTA, 8x8 mesh, {n} link faults"),
-                &curve(&mesh, &nafta, &faults, cfg)
-            )
-        );
+        series.push((
+            format!("NAFTA, 8x8 mesh, {n} link faults"),
+            curve(&mesh, &nafta, &faults, cfg),
+        ));
     }
 
     let cube = Hypercube::new(5);
     let rc = RouteC::new(cube.clone());
     let rc_nft = RouteC::stripped(cube.clone());
-    println!(
-        "{}",
-        format_curve("ROUTE_C, 5-cube, fault-free", &curve(&cube, &rc, &FaultSet::new(), cfg))
-    );
-    println!(
-        "{}",
-        format_curve(
-            "stripped ROUTE_C (nft), 5-cube",
-            &curve(&cube, &rc_nft, &FaultSet::new(), cfg)
-        )
-    );
+    series.push(("ROUTE_C, 5-cube, fault-free".into(), curve(&cube, &rc, &FaultSet::new(), cfg)));
+    series.push((
+        "stripped ROUTE_C (nft), 5-cube".into(),
+        curve(&cube, &rc_nft, &FaultSet::new(), cfg),
+    ));
+
+    for (name, pts) in &series {
+        println!("{}", format_curve(name, pts));
+    }
+
+    let payload = {
+        let mut root = json::Obj::new();
+        root.str("experiment", "E7 latency vs offered load");
+        root.field(
+            "series",
+            json::array(series.iter().map(|(name, pts)| {
+                let mut o = json::Obj::new();
+                o.str("name", name);
+                o.field("points", json::array(pts.iter().map(results::load_point_json)));
+                o.finish()
+            })),
+        );
+        root.finish()
+    };
+    let path = results::write_json("latency_sweep", &payload).expect("write results");
+    println!("wrote {}", path.display());
 }

@@ -9,7 +9,7 @@
 //! exact reachability, nodes NAFTA deactivates, and condition-3 compliance.
 
 use ftr_algos::{check_conditions, ConditionsReport, Nafta};
-use ftr_sim::{Network, SimConfig};
+use ftr_sim::Network;
 use ftr_topo::{graph, FaultSet, Mesh2D, Topology, NORTH};
 use std::sync::Arc;
 
@@ -37,7 +37,7 @@ fn main() {
 
         // count nodes NAFTA deactivates after propagation
         let algo = Nafta::new(mesh.clone());
-        let mut net = Network::new(Arc::new(mesh.clone()), &algo, SimConfig::default());
+        let mut net = Network::builder(Arc::new(mesh.clone())).build(&algo).expect("valid config");
         net.apply_fault_set(&faults);
         net.settle_control(100_000).expect("settles");
         let deact = mesh.nodes().filter(|&n| net.controller(n).state_word() & 1 == 1).count();

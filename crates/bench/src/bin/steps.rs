@@ -7,21 +7,41 @@
 //! of ROUTE_C can be implemented with only one interpretation per
 //! message."
 //!
-//! Measured here by running each algorithm in the simulator and recording
-//! the step count of every routing decision, fault-free and with faults.
+//! Step counts are derived **from the trace stream alone**: the simulator
+//! runs with a `RingSink` attached and the per-decision numbers are
+//! aggregated from `route_decision` events, then cross-checked against the
+//! engine's internal accumulator. The table goes to stdout and the same
+//! rows go to `results/steps.json`.
 
 use ftr_algos::{Nafta, Nara, RouteC};
+use ftr_bench::results;
+use ftr_obs::{json, EventKind, RingSink};
 use ftr_sim::routing::RoutingAlgorithm;
-use ftr_sim::{Network, Pattern, SimConfig, TrafficSource};
+use ftr_sim::{Network, Pattern, TrafficSource};
 use ftr_topo::{FaultSet, Hypercube, Mesh2D, Topology};
 use std::sync::Arc;
 
+struct Row {
+    name: &'static str,
+    note: &'static str,
+    mean: f64,
+    min: u64,
+    max: u64,
+    decisions: u64,
+}
+
 fn run<T: Topology + Clone + 'static>(
+    name: &'static str,
+    note: &'static str,
     topo: &T,
     algo: &dyn RoutingAlgorithm,
     faults: &FaultSet,
-) -> (f64, u64, u64) {
-    let mut net = Network::new(Arc::new(topo.clone()), algo, SimConfig::default());
+) -> Row {
+    let sink = Arc::new(RingSink::new(1 << 22));
+    let mut net = Network::builder(Arc::new(topo.clone()))
+        .trace(sink.clone())
+        .build(algo)
+        .expect("valid config");
     net.apply_fault_set(faults);
     net.settle_control(100_000).expect("settles");
     net.set_measuring(true);
@@ -33,45 +53,104 @@ fn run<T: Topology + Clone + 'static>(
         net.step();
     }
     net.drain(100_000);
-    let s = &net.stats.decision_steps;
-    (s.mean(), s.min, s.max)
+
+    // E4 from the trace stream alone: aggregate route_decision events
+    assert_eq!(sink.dropped(), 0, "ring must retain the full trace");
+    let (mut count, mut sum, mut min, mut max) = (0u64, 0u64, u64::MAX, 0u64);
+    for ev in sink.events() {
+        if let EventKind::RouteDecision { steps, .. } = ev.kind {
+            let s = steps as u64;
+            count += 1;
+            sum += s;
+            min = min.min(s);
+            max = max.max(s);
+        }
+    }
+    assert!(count > 0, "no decisions traced");
+
+    // the engine's internal accumulator must tell the same story
+    let acc = &net.stats.decision_steps;
+    assert_eq!(count, acc.count, "{name}: trace/stats decision count");
+    assert_eq!(sum, acc.sum, "{name}: trace/stats step total");
+    assert_eq!(min, acc.min, "{name}: trace/stats min");
+    assert_eq!(max, acc.max, "{name}: trace/stats max");
+
+    Row { name, note, mean: sum as f64 / count as f64, min, max, decisions: count }
 }
 
 fn main() {
-    println!("Rule interpretations per routing decision (mean / min / max)\n");
+    println!("Rule interpretations per routing decision (mean / min / max)");
+    println!("(derived from route_decision trace events, cross-checked vs stats)\n");
     println!("{:<22} {:>10} {:>6} {:>6}   note", "algorithm", "mean", "min", "max");
 
     let mesh = Mesh2D::new(8, 8);
     let mut mesh_faults = FaultSet::new();
     mesh_faults.inject_random_links(&mesh, 6, true, 7);
 
-    let (m, lo, hi) = run(&mesh, &Nara::new(mesh.clone()), &FaultSet::new());
-    println!("{:<22} {:>10.3} {:>6} {:>6}   paper: 1", "nara (fault-free)", m, lo, hi);
-
-    let (m, lo, hi) = run(&mesh, &Nafta::new(mesh.clone()), &FaultSet::new());
-    println!("{:<22} {:>10.3} {:>6} {:>6}   paper: 1", "nafta (fault-free)", m, lo, hi);
-
-    let (m, lo, hi) = run(&mesh, &Nafta::new(mesh.clone()), &mesh_faults);
-    println!(
-        "{:<22} {:>10.3} {:>6} {:>6}   paper: up to 3 near faults",
-        "nafta (6 link faults)", m, lo, hi
-    );
-
     let cube = Hypercube::new(5);
     let mut cube_faults = FaultSet::new();
     cube_faults.inject_random_nodes(&cube, 2, true, 11);
 
-    let (m, lo, hi) = run(&cube, &RouteC::new(cube.clone()), &FaultSet::new());
-    println!("{:<22} {:>10.3} {:>6} {:>6}   paper: always 2", "route_c (fault-free)", m, lo, hi);
+    let rows = [
+        run("nara (fault-free)", "paper: 1", &mesh, &Nara::new(mesh.clone()), &FaultSet::new()),
+        run("nafta (fault-free)", "paper: 1", &mesh, &Nafta::new(mesh.clone()), &FaultSet::new()),
+        run(
+            "nafta (6 link faults)",
+            "paper: up to 3 near faults",
+            &mesh,
+            &Nafta::new(mesh.clone()),
+            &mesh_faults,
+        ),
+        run(
+            "route_c (fault-free)",
+            "paper: always 2",
+            &cube,
+            &RouteC::new(cube.clone()),
+            &FaultSet::new(),
+        ),
+        run(
+            "route_c (2 node flt)",
+            "paper: always 2",
+            &cube,
+            &RouteC::new(cube.clone()),
+            &cube_faults,
+        ),
+        run(
+            "route_c_nft",
+            "paper: 1 (stripped)",
+            &cube,
+            &RouteC::stripped(cube.clone()),
+            &FaultSet::new(),
+        ),
+    ];
 
-    let (m, lo, hi) = run(&cube, &RouteC::new(cube.clone()), &cube_faults);
-    println!("{:<22} {:>10.3} {:>6} {:>6}   paper: always 2", "route_c (2 node flt)", m, lo, hi);
+    for r in &rows {
+        println!("{:<22} {:>10.3} {:>6} {:>6}   {}", r.name, r.mean, r.min, r.max, r.note);
+    }
 
-    let (m, lo, hi) = run(&cube, &RouteC::stripped(cube.clone()), &FaultSet::new());
-    println!("{:<22} {:>10.3} {:>6} {:>6}   paper: 1 (stripped)", "route_c_nft", m, lo, hi);
-
+    let payload = {
+        let mut root = json::Obj::new();
+        root.str("experiment", "E4 steps per routing decision");
+        root.str("source", "route_decision trace events");
+        root.field(
+            "rows",
+            json::array(rows.iter().map(|r| {
+                let mut o = json::Obj::new();
+                o.str("algorithm", r.name)
+                    .str("note", r.note)
+                    .float("mean", r.mean)
+                    .num("min", r.min)
+                    .num("max", r.max)
+                    .num("decisions", r.decisions);
+                o.finish()
+            })),
+        );
+        root.finish()
+    };
+    let path = results::write_json("steps", &payload).expect("write results");
     println!(
         "\n(min = 0 appears when a message is delivered at its injection node's \
          neighbour and the ejection shortcut fires; see ftr-sim docs)"
     );
+    println!("wrote {}", path.display());
 }

@@ -17,7 +17,7 @@
 
 use ftr_algos::{Nafta, NegativeHop};
 use ftr_sim::routing::RoutingAlgorithm;
-use ftr_sim::{Network, Pattern, SimConfig, TrafficSource};
+use ftr_sim::{Network, Pattern, TrafficSource};
 use ftr_topo::{FaultSet, Mesh2D};
 use std::sync::Arc;
 
@@ -30,7 +30,7 @@ struct Row {
 }
 
 fn run(mesh: &Mesh2D, algo: &dyn RoutingAlgorithm, faults: &FaultSet) -> Row {
-    let mut net = Network::new(Arc::new(mesh.clone()), algo, SimConfig::default());
+    let mut net = Network::builder(Arc::new(mesh.clone())).build(algo).expect("valid config");
     net.apply_fault_set(faults);
     net.settle_control(100_000).expect("settles");
     net.set_measuring(true);

@@ -12,6 +12,8 @@ use ftr_sim::{Network, Pattern, SimConfig, TrafficSource};
 use ftr_topo::Topology;
 use std::sync::Arc;
 
+pub mod results;
+
 /// One point of a latency/throughput curve.
 #[derive(Clone, Copy, Debug)]
 pub struct LoadPoint {
@@ -41,7 +43,8 @@ pub fn measure_load<T: Topology + Clone + 'static>(
     seed: u64,
     cfg: SimConfig,
 ) -> LoadPoint {
-    let mut net = Network::new(Arc::new(topo.clone()), algo, cfg);
+    let mut net =
+        Network::builder(Arc::new(topo.clone())).config(cfg).build(algo).expect("valid config");
     net.apply_fault_set(faults);
     net.settle_control(1_000_000).expect("control settles");
     let mut tf = TrafficSource::new(pattern, offered, msg_len, seed);

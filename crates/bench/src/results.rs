@@ -1,0 +1,65 @@
+//! Machine-readable experiment output.
+//!
+//! Every bench binary prints its human-readable table to stdout and, via
+//! [`write_json`], drops the same data as validated JSON into `results/`
+//! so plots and CI checks never scrape the tables.
+
+use ftr_obs::json;
+use std::path::PathBuf;
+
+/// Directory experiment outputs land in, overridable through the
+/// `FTR_RESULTS_DIR` environment variable (used by CI to keep smoke runs
+/// out of the tree).
+pub fn results_dir() -> PathBuf {
+    std::env::var_os("FTR_RESULTS_DIR").map_or_else(|| PathBuf::from("results"), PathBuf::from)
+}
+
+/// Validates `payload` as JSON and writes it to `results/<name>.json`
+/// (creating the directory). Panics on malformed JSON — an exporter bug
+/// must fail the run, not poison downstream tooling.
+pub fn write_json(name: &str, payload: &str) -> std::io::Result<PathBuf> {
+    if let Err(e) = json::validate(payload) {
+        panic!("refusing to write malformed JSON for {name}: {e}");
+    }
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{name}.json"));
+    std::fs::write(&path, payload)?;
+    Ok(path)
+}
+
+/// Renders a [`crate::LoadPoint`] as a JSON object.
+pub fn load_point_json(p: &crate::LoadPoint) -> String {
+    let mut o = json::Obj::new();
+    o.float("offered", p.offered)
+        .float("latency", p.latency)
+        .float("throughput", p.throughput)
+        .float("delivery_ratio", p.delivery_ratio)
+        .bool("deadlock", p.deadlock);
+    o.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_point_renders_valid_json() {
+        let p = crate::LoadPoint {
+            offered: 0.1,
+            latency: 12.5,
+            throughput: 0.099,
+            delivery_ratio: 1.0,
+            deadlock: false,
+        };
+        let j = load_point_json(&p);
+        assert!(json::validate(&j).is_ok(), "{j}");
+        assert!(j.contains("\"deadlock\":false"));
+    }
+
+    #[test]
+    #[should_panic(expected = "malformed JSON")]
+    fn write_json_rejects_garbage() {
+        let _ = write_json("nope", "{not json");
+    }
+}

@@ -308,13 +308,13 @@ mod tests {
     use super::*;
     use crate::configure;
     use ftr_algos::rules_src::route_c_source;
-    use ftr_sim::{Network, Pattern, SimConfig, TrafficSource};
+    use ftr_sim::{Network, Pattern, TrafficSource};
 
     fn rule_cube_net(dim: u32) -> Network {
         let cube = Hypercube::new(dim);
         let cfg = configure("route_c", &route_c_source(dim)).unwrap();
         let algo = CubeRuleRouter::new(cfg, cube.clone());
-        Network::new(Arc::new(cube), &algo, SimConfig::default())
+        Network::builder(Arc::new(cube)).build(&algo).expect("valid config")
     }
 
     #[test]

@@ -20,7 +20,7 @@
 
 use crate::info_unit::load_link_info;
 use crate::RouterConfiguration;
-use ftr_rules::{InputMap, Machine, Value};
+use ftr_rules::{InputMap, InterpProbe, Machine, Value};
 use ftr_sim::flit::Header;
 use ftr_sim::routing::{Decision, NodeController, RouterView, RoutingAlgorithm, Verdict};
 use ftr_topo::{Mesh2D, NodeId, PortId, Topology, VcId};
@@ -90,6 +90,7 @@ pub struct RuleRouter {
     config: Arc<RouterConfiguration>,
     interface: MeshInterface,
     vcs: usize,
+    probe: Option<Arc<dyn InterpProbe>>,
 }
 
 impl RuleRouter {
@@ -97,7 +98,20 @@ impl RuleRouter {
     /// virtual channels the data path provides (the program addresses them
     /// through the `invc` input).
     pub fn new(config: RouterConfiguration, mesh: Mesh2D, vcs: usize) -> Self {
-        RuleRouter { config: Arc::new(config), interface: MeshInterface::new(mesh), vcs }
+        RuleRouter {
+            config: Arc::new(config),
+            interface: MeshInterface::new(mesh),
+            vcs,
+            probe: None,
+        }
+    }
+
+    /// Attaches a per-stage interpreter probe (e.g. an
+    /// `ftr_obs::InterpProfiler`); every node machine built afterwards
+    /// reports premise/kernel/conclusion timings to it.
+    pub fn with_profiler(mut self, probe: Arc<dyn InterpProbe>) -> Self {
+        self.probe = Some(probe);
+        self
     }
 
     /// The configuration driving this router.
@@ -117,6 +131,9 @@ impl RoutingAlgorithm for RuleRouter {
 
     fn controller(&self, _topo: &dyn Topology, node: NodeId) -> Box<dyn NodeController> {
         let mut machine = Machine::from_compiled(self.config.compiled.clone());
+        if let Some(probe) = &self.probe {
+            machine.set_probe(Arc::clone(probe));
+        }
         self.interface.init_node(&mut machine, node);
         Box::new(RuleNodeController {
             machine,
@@ -185,12 +202,12 @@ mod tests {
     use super::*;
     use crate::configure;
     use ftr_algos::rules_src;
-    use ftr_sim::{Network, Pattern, SimConfig, TrafficSource};
+    use ftr_sim::{Network, Pattern, TrafficSource};
 
     fn rule_net(src: &str, name: &str, mesh: Mesh2D) -> Network {
         let cfg = configure(name, src).unwrap();
         let algo = RuleRouter::new(cfg, mesh.clone(), 1);
-        Network::new(Arc::new(mesh), &algo, SimConfig::default())
+        Network::builder(Arc::new(mesh)).build(&algo).expect("valid config")
     }
 
     #[test]
@@ -216,7 +233,7 @@ mod tests {
         // identical single-message latencies: the rule program IS XY
         let mesh = Mesh2D::new(5, 4);
         let native = ftr_algos::XyRouting::new(mesh.clone());
-        let mut nn = Network::new(Arc::new(mesh.clone()), &native, SimConfig::default());
+        let mut nn = Network::builder(Arc::new(mesh.clone())).build(&native).expect("valid config");
         let mut rn = rule_net(rules_src::XY, "xy", mesh.clone());
         for (a, b) in [(0u32, 19u32), (3, 16), (7, 12), (18, 1)] {
             nn.send(NodeId(a), NodeId(b), 3);
@@ -243,6 +260,31 @@ mod tests {
         assert!(!net.stats.deadlock);
         assert_eq!(net.stats.excess_hops, 0, "west-first is minimal");
         assert!(net.stats.delivered_msgs > 300);
+    }
+
+    #[test]
+    fn profiler_sees_every_interpretation() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        struct CountProbe(AtomicU64);
+        impl InterpProbe for CountProbe {
+            fn record_stage(&self, _base: usize, stage: ftr_rules::Stage, _nanos: u64) {
+                if stage == ftr_rules::Stage::Kernel {
+                    self.0.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        let mesh = Mesh2D::new(4, 4);
+        let cfg = configure("xy", rules_src::XY).unwrap();
+        let probe = Arc::new(CountProbe(AtomicU64::new(0)));
+        let algo = RuleRouter::new(cfg, mesh.clone(), 1)
+            .with_profiler(probe.clone() as Arc<dyn InterpProbe>);
+        let mut net = Network::builder(Arc::new(mesh.clone())).build(&algo).expect("valid config");
+        net.send(mesh.node_at(0, 0), mesh.node_at(3, 0), 2);
+        assert!(net.drain(5_000));
+        // one kernel lookup per interpretation; XY interprets once per
+        // routing decision, and the engine re-consults on every Ready
+        // retry, so at least the 3 on-path decisions must be visible
+        assert!(probe.0.load(Ordering::Relaxed) >= 3);
     }
 
     #[test]

@@ -1,0 +1,306 @@
+//! Minimal JSON emission.
+//!
+//! The workspace builds hermetically (the `serde` dependency is a
+//! derive-only shim with no serializer), so the observability layer
+//! carries its own small writer. It covers exactly what the exporters
+//! need — objects, arrays, strings, integers and finite floats — and
+//! always produces valid UTF-8 JSON.
+
+use std::fmt::Write as _;
+
+/// Escapes `s` as a JSON string literal (including the quotes).
+pub fn string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders a float as a JSON number (`null` for non-finite values, which
+/// JSON cannot represent).
+pub fn float(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".into()
+    }
+}
+
+/// Incremental writer for one JSON object or array.
+///
+/// ```
+/// let mut o = ftr_obs::json::Obj::new();
+/// o.field("name", ftr_obs::json::string("steps"));
+/// o.num("count", 3);
+/// assert_eq!(o.finish(), r#"{"name":"steps","count":3}"#);
+/// ```
+#[derive(Debug, Default)]
+pub struct Obj {
+    buf: String,
+    any: bool,
+}
+
+impl Obj {
+    /// Starts an empty object.
+    pub fn new() -> Self {
+        Obj { buf: String::from("{"), any: false }
+    }
+
+    fn sep(&mut self) {
+        if self.any {
+            self.buf.push(',');
+        }
+        self.any = true;
+    }
+
+    /// Adds a field whose value is already-rendered JSON.
+    pub fn field(&mut self, key: &str, json_value: impl AsRef<str>) -> &mut Self {
+        self.sep();
+        self.buf.push_str(&string(key));
+        self.buf.push(':');
+        self.buf.push_str(json_value.as_ref());
+        self
+    }
+
+    /// Adds a string field.
+    pub fn str(&mut self, key: &str, v: &str) -> &mut Self {
+        self.field(key, string(v))
+    }
+
+    /// Adds an integer field.
+    pub fn num(&mut self, key: &str, v: impl Into<i128>) -> &mut Self {
+        self.field(key, v.into().to_string())
+    }
+
+    /// Adds a float field.
+    pub fn float(&mut self, key: &str, v: f64) -> &mut Self {
+        self.field(key, float(v))
+    }
+
+    /// Adds a boolean field.
+    pub fn bool(&mut self, key: &str, v: bool) -> &mut Self {
+        self.field(key, if v { "true" } else { "false" })
+    }
+
+    /// Closes the object and returns the JSON text.
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+/// Joins already-rendered JSON values into an array.
+pub fn array<I: IntoIterator<Item = S>, S: AsRef<str>>(items: I) -> String {
+    let mut buf = String::from("[");
+    for (i, it) in items.into_iter().enumerate() {
+        if i > 0 {
+            buf.push(',');
+        }
+        buf.push_str(it.as_ref());
+    }
+    buf.push(']');
+    buf
+}
+
+/// Structural validity check used by tests and the CI smoke job: parses
+/// the value grammar (objects, arrays, strings, numbers, booleans, null)
+/// and returns the number of values seen, or an error description.
+pub fn validate(s: &str) -> Result<usize, String> {
+    let mut p = Parser { b: s.as_bytes(), i: 0, seen: 0 };
+    p.skip_ws();
+    p.value()?;
+    p.skip_ws();
+    if p.i != p.b.len() {
+        return Err(format!("trailing garbage at byte {}", p.i));
+    }
+    Ok(p.seen)
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+    seen: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.i < self.b.len() && matches!(self.b[self.i], b' ' | b'\t' | b'\n' | b'\r') {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at byte {}", c as char, self.i))
+        }
+    }
+
+    fn value(&mut self) -> Result<(), String> {
+        self.seen += 1;
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string(),
+            Some(b't') => self.literal("true"),
+            Some(b'f') => self.literal("false"),
+            Some(b'n') => self.literal("null"),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(format!("unexpected {other:?} at byte {}", self.i)),
+        }
+    }
+
+    fn literal(&mut self, lit: &str) -> Result<(), String> {
+        if self.b[self.i..].starts_with(lit.as_bytes()) {
+            self.i += lit.len();
+            Ok(())
+        } else {
+            Err(format!("bad literal at byte {}", self.i))
+        }
+    }
+
+    fn number(&mut self) -> Result<(), String> {
+        let start = self.i;
+        if self.peek() == Some(b'-') {
+            self.i += 1;
+        }
+        while self
+            .peek()
+            .is_some_and(|c| c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.i += 1;
+        }
+        let txt = std::str::from_utf8(&self.b[start..self.i]).unwrap();
+        txt.parse::<f64>().map(|_| ()).map_err(|e| format!("bad number `{txt}`: {e}"))
+    }
+
+    fn string(&mut self) -> Result<(), String> {
+        self.expect(b'"')?;
+        while let Some(c) = self.peek() {
+            self.i += 1;
+            match c {
+                b'"' => return Ok(()),
+                b'\\' => {
+                    self.i += 1; // escape consumes the next byte (\uXXXX digits parse as chars)
+                }
+                _ => {}
+            }
+        }
+        Err("unterminated string".into())
+    }
+
+    fn object(&mut self) -> Result<(), String> {
+        self.expect(b'{')?;
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            self.value()?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                other => return Err(format!("expected , or }} got {other:?} at {}", self.i)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<(), String> {
+        self.expect(b'[')?;
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.value()?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                other => return Err(format!("expected , or ] got {other:?} at {}", self.i)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping() {
+        assert_eq!(string("a\"b\\c\n"), r#""a\"b\\c\n""#);
+        assert_eq!(string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn object_builder() {
+        let mut o = Obj::new();
+        o.str("name", "x").num("n", 3).float("f", 0.5).bool("ok", true);
+        let s = o.finish();
+        assert_eq!(s, r#"{"name":"x","n":3,"f":0.5,"ok":true}"#);
+        assert!(validate(&s).is_ok());
+    }
+
+    #[test]
+    fn arrays_and_nesting_validate() {
+        let inner = {
+            let mut o = Obj::new();
+            o.num("a", 1);
+            o.finish()
+        };
+        let s = array([inner.as_str(), "2", "null", r#""s""#]);
+        assert_eq!(s, r#"[{"a":1},2,null,"s"]"#);
+        assert!(validate(&s).is_ok());
+    }
+
+    #[test]
+    fn validator_rejects_garbage() {
+        assert!(validate("{").is_err());
+        assert!(validate(r#"{"a":}"#).is_err());
+        assert!(validate("[1,2,]").is_err());
+        assert!(validate("123 45").is_err());
+        assert!(validate(r#"{"a":1}"#).is_ok());
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(float(f64::NAN), "null");
+        assert_eq!(float(f64::INFINITY), "null");
+        assert_eq!(float(2.5), "2.5");
+    }
+}

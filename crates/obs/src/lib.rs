@@ -1,0 +1,39 @@
+//! # ftr-obs — observability layer
+//!
+//! Structured instrumentation for the fault-tolerant router stack: the
+//! paper's central claims are *per-decision* numbers (interpretation
+//! steps per routed message, decision-latency overhead, settling waves),
+//! and this crate is where they become observable without hand-rolled
+//! counters in every binary.
+//!
+//! Three pieces:
+//!
+//! - **Event tracing** ([`event`], [`sink`]): typed, cycle-stamped
+//!   [`TraceEvent`]s (injection, per-hop routing decisions with step
+//!   counts, VC-allocation stalls, kills, fault injection, control-plane
+//!   settling) flow into a [`TraceSink`] — a bounded [`RingSink`] for
+//!   analysis in-process, or a [`JsonlSink`] streaming JSON Lines to disk.
+//!   The simulator emits through closures, so with no sink attached no
+//!   event is ever constructed.
+//! - **Metrics** ([`metrics`]): a [`MetricsRegistry`] of named counters
+//!   and log₂-bucketed histograms with JSON/CSV exporters; the bench
+//!   binaries publish their results through it into `results/*.json`.
+//! - **Interpreter profiling** ([`profile`]): [`InterpProfiler`]
+//!   implements `ftr_rules::InterpProbe` and attributes wall-clock time to
+//!   the three hardware stages (premise / kernel / conclusion) per rule
+//!   base.
+//!
+//! JSON is emitted by the in-tree writer in [`json`] (the hermetic build
+//! has no serializer crate); [`json::validate`] backs the CI smoke check
+//! that exported results parse.
+
+pub mod event;
+pub mod json;
+pub mod metrics;
+pub mod profile;
+pub mod sink;
+
+pub use event::{EventKind, RouteOutcome, TraceEvent};
+pub use metrics::{Counter, HistSnapshot, Histogram, MetricsRegistry};
+pub use profile::{InterpProfiler, StageCost};
+pub use sink::{JsonlSink, RingSink, TeeSink, TraceSink};

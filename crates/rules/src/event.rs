@@ -19,8 +19,10 @@ use crate::env::{InputProvider, RegFile};
 use crate::error::{Result, RuleError};
 use crate::eval::{EventInstance, FireOutcome};
 use crate::interp::CompiledProgram;
+use crate::probe::InterpProbe;
 use crate::value::Value;
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// Execution statistics of a machine.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -58,6 +60,7 @@ pub struct Machine {
     compiled: CompiledProgram,
     regs: RegFile,
     queue: VecDeque<EventInstance>,
+    probe: Option<Arc<dyn InterpProbe>>,
     /// Safety budget per external fire: livelock guard for cyclic event
     /// generation.
     pub max_internal_events: u32,
@@ -76,6 +79,7 @@ impl Machine {
             compiled,
             regs,
             queue: VecDeque::new(),
+            probe: None,
             max_internal_events: 10_000,
             stats: MachineStats { per_base: vec![0; n], ..Default::default() },
         })
@@ -89,9 +93,21 @@ impl Machine {
             compiled,
             regs,
             queue: VecDeque::new(),
+            probe: None,
             max_internal_events: 10_000,
             stats: MachineStats { per_base: vec![0; n], ..Default::default() },
         }
+    }
+
+    /// Installs an interpretation probe: every subsequent rule-base fire
+    /// reports per-stage timing to it (see [`crate::probe`]).
+    pub fn set_probe(&mut self, probe: Arc<dyn InterpProbe>) {
+        self.probe = Some(probe);
+    }
+
+    /// Removes the probe.
+    pub fn clear_probe(&mut self) {
+        self.probe = None;
     }
 
     /// The program.
@@ -181,8 +197,13 @@ impl Machine {
         self.stats.total_steps += 1;
         self.stats.last_fire_steps += 1;
         self.stats.per_base[idx] += 1;
-        let out =
-            self.compiled.bases[idx].fire(&self.compiled.prog, args, &mut self.regs, inputs)?;
+        let base = &self.compiled.bases[idx];
+        let out = match &self.probe {
+            Some(p) => {
+                base.fire_probed(&self.compiled.prog, args, &mut self.regs, inputs, p.as_ref())?
+            }
+            None => base.fire(&self.compiled.prog, args, &mut self.regs, inputs)?,
+        };
         for ev in &out.emitted {
             if self.compiled.prog.rulebase(&ev.event).is_some() {
                 self.queue.push_back(ev.clone());

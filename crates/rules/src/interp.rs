@@ -20,7 +20,9 @@ use crate::compile::{CompileWarning, Feature, FeatureKind};
 use crate::env::{InputProvider, RegFile};
 use crate::error::{Result, RuleError};
 use crate::eval::{apply_rule, eval_expr, EvalCtx, FireOutcome};
+use crate::probe::{InterpProbe, Stage};
 use crate::value::Value;
+use std::time::Instant;
 
 /// One rule base compiled to a filled table.
 #[derive(Clone, Debug)]
@@ -171,6 +173,33 @@ impl CompiledRuleBase {
             Some(rule) => apply_rule(prog, self.rb, rule, params, regs, inputs),
         }
     }
+
+    /// Like [`CompiledRuleBase::fire`], but reports the wall-clock cost of
+    /// each of the three interpretation stages to `probe`. The unprobed
+    /// path pays nothing for this — [`CompiledRuleBase::fire`] is
+    /// untouched.
+    pub fn fire_probed(
+        &self,
+        prog: &Program,
+        params: &[Value],
+        regs: &mut RegFile,
+        inputs: &dyn InputProvider,
+        probe: &dyn InterpProbe,
+    ) -> Result<FireOutcome> {
+        let t0 = Instant::now();
+        let digits = self.feature_vector(prog, params, regs, inputs)?;
+        let t1 = Instant::now();
+        probe.record_stage(self.rb, Stage::Premise, (t1 - t0).as_nanos() as u64);
+        let entry = self.table[self.index(&digits) as usize];
+        let t2 = Instant::now();
+        probe.record_stage(self.rb, Stage::Kernel, (t2 - t1).as_nanos() as u64);
+        let out = match entry {
+            0 => Ok(FireOutcome::default()),
+            e => apply_rule(prog, self.rb, e as usize - 1, params, regs, inputs),
+        };
+        probe.record_stage(self.rb, Stage::Conclusion, t2.elapsed().as_nanos() as u64);
+        out
+    }
 }
 
 /// A fully compiled program.
@@ -284,6 +313,35 @@ END classify;
         let out = c.fire("f", &[], &mut regs, &InputMap::new()).unwrap();
         assert_eq!(out.rule, None);
         assert_eq!(out.returned, None);
+    }
+
+    #[test]
+    fn probed_fire_matches_unprobed_and_sees_all_stages() {
+        use crate::probe::{InterpProbe, Stage};
+        use std::sync::Mutex;
+
+        #[derive(Default)]
+        struct Recorder(Mutex<Vec<(usize, Stage)>>);
+        impl InterpProbe for Recorder {
+            fn record_stage(&self, base: usize, stage: Stage, _nanos: u64) {
+                self.0.lock().unwrap().push((base, stage));
+            }
+        }
+
+        let p = parse(SRC).unwrap();
+        let c = compile(&p, &CompileOptions::default()).unwrap();
+        let rec = Recorder::default();
+        let mut regs_a = RegFile::new(&p);
+        let mut regs_b = regs_a.clone();
+        let mut inp = InputMap::new();
+        inp.set_default(&p, "level", int(7)).unwrap();
+
+        let plain = c.bases[0].fire(&p, &[int(1)], &mut regs_a, &inp).unwrap();
+        let probed = c.bases[0].fire_probed(&p, &[int(1)], &mut regs_b, &inp, &rec).unwrap();
+        assert_eq!(plain, probed, "probing must not change semantics");
+        assert_eq!(regs_a, regs_b);
+        let seen = rec.0.lock().unwrap().clone();
+        assert_eq!(seen, vec![(0, Stage::Premise), (0, Stage::Kernel), (0, Stage::Conclusion)]);
     }
 
     #[test]

@@ -25,6 +25,7 @@ pub mod interp;
 pub mod lexer;
 pub mod parser;
 pub mod pretty;
+pub mod probe;
 pub mod token;
 pub mod value;
 
@@ -38,4 +39,5 @@ pub use event::Machine;
 pub use fcfb::FcfbKind;
 pub use interp::{CompiledProgram, CompiledRuleBase};
 pub use parser::parse;
+pub use probe::{InterpProbe, Stage};
 pub use value::{Domain, Type, Value};

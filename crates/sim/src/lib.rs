@@ -46,11 +46,16 @@
 //! }
 //!
 //! let topo = Arc::new(Mesh2D::new(4, 4));
-//! let mut net = Network::new(topo.clone(), &Xy((*topo).clone()), SimConfig::default());
+//! let mut net = Network::builder(topo.clone())
+//!     .build(&Xy((*topo).clone()))
+//!     .expect("valid configuration");
 //! net.send(NodeId(0), NodeId(15), 4);
 //! assert!(net.drain(1_000));
 //! assert_eq!(net.stats.delivered_msgs, 1);
 //! ```
+//!
+//! To observe *why* the numbers come out the way they do, attach a trace
+//! sink and/or metrics registry via [`NetworkBuilder`] — see `ftr-obs`.
 
 pub mod flit;
 pub mod network;
@@ -61,7 +66,7 @@ pub mod sweep;
 pub mod traffic;
 
 pub use flit::{Flit, FlitKind, Header, MessageId};
-pub use network::{Network, SimConfig};
+pub use network::{BuildError, Network, NetworkBuilder, SimConfig};
 pub use routing::{ControlMsg, Decision, NodeController, RouterView, RoutingAlgorithm, Verdict};
 pub use stats::{Accum, SimStats};
 pub use sweep::run_sweep;

@@ -14,6 +14,9 @@ use crate::flit::{Flit, FlitKind, Header, MessageId};
 use crate::router::{DecisionPhase, RouteState, RouterNode};
 use crate::routing::{ControlMsg, NodeController, RouterView, RoutingAlgorithm, Verdict};
 use crate::stats::{MsgMeta, SimStats};
+use ftr_obs::{
+    Counter, EventKind, Histogram, MetricsRegistry, RouteOutcome, TraceEvent, TraceSink,
+};
 use ftr_topo::{FaultSet, NodeId, PortId, Topology, VcId};
 use std::collections::{HashSet, VecDeque};
 use std::sync::Arc;
@@ -53,6 +56,202 @@ struct ControlDelivery {
     payload: Vec<i64>,
 }
 
+/// Validation failures of [`NetworkBuilder::build`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BuildError {
+    /// `buffer_depth` must be at least one flit.
+    ZeroBufferDepth,
+    /// The deadlock watchdog threshold must be non-zero.
+    ZeroDeadlockThreshold,
+    /// The routing algorithm must request at least one virtual channel.
+    NoVirtualChannels,
+    /// The topology has no nodes.
+    EmptyTopology,
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::ZeroBufferDepth => write!(f, "buffer_depth must be >= 1 flit"),
+            BuildError::ZeroDeadlockThreshold => write!(f, "deadlock_threshold must be >= 1"),
+            BuildError::NoVirtualChannels => {
+                write!(f, "routing algorithm must use >= 1 virtual channel")
+            }
+            BuildError::EmptyTopology => write!(f, "topology has no nodes"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Pre-resolved metric handles — looked up once at build so the hot path
+/// never touches the registry's name maps.
+struct SimMetrics {
+    registry: Arc<MetricsRegistry>,
+    injected: Counter,
+    delivered: Counter,
+    killed: Counter,
+    unroutable: Counter,
+    control_msgs: Counter,
+    latency: Histogram,
+    hops: Histogram,
+    excess_hops: Histogram,
+    decision_steps: Histogram,
+    buffer_occupancy: Histogram,
+}
+
+impl SimMetrics {
+    fn new(registry: Arc<MetricsRegistry>) -> Self {
+        SimMetrics {
+            injected: registry.counter("sim.injected"),
+            delivered: registry.counter("sim.delivered"),
+            killed: registry.counter("sim.killed"),
+            unroutable: registry.counter("sim.unroutable"),
+            control_msgs: registry.counter("sim.control_msgs"),
+            latency: registry.histogram("sim.latency"),
+            hops: registry.histogram("sim.hops"),
+            excess_hops: registry.histogram("sim.excess_hops"),
+            decision_steps: registry.histogram("sim.decision_steps"),
+            buffer_occupancy: registry.histogram("sim.buffer_occupancy"),
+            registry,
+        }
+    }
+}
+
+/// How often (in cycles) per-node buffer occupancy is sampled into the
+/// metrics registry when one is attached.
+const OCCUPANCY_SAMPLE_PERIOD: u64 = 64;
+
+/// Fluent, validated construction of a [`Network`] — the instrumentation
+/// seam of the observability layer.
+///
+/// ```
+/// use ftr_sim::{NetworkBuilder, routing::*};
+/// # use ftr_sim::flit::Header;
+/// use ftr_topo::{Mesh2D, NodeId, PortId, Topology, VcId};
+/// use std::sync::Arc;
+/// # struct Stay;
+/// # struct StayCtl;
+/// # impl RoutingAlgorithm for Stay {
+/// #     fn name(&self) -> String { "stay".into() }
+/// #     fn num_vcs(&self) -> usize { 1 }
+/// #     fn controller(&self, _t: &dyn Topology, _n: NodeId) -> Box<dyn NodeController> {
+/// #         Box::new(StayCtl)
+/// #     }
+/// # }
+/// # impl NodeController for StayCtl {
+/// #     fn route(&mut self, _v: &RouterView<'_>, _h: &mut Header,
+/// #              _ip: Option<PortId>, _iv: VcId) -> Decision {
+/// #         Decision::new(Verdict::Wait, 1)
+/// #     }
+/// # }
+/// let sink = Arc::new(ftr_obs::RingSink::new(1024));
+/// let net = NetworkBuilder::new(Arc::new(Mesh2D::new(4, 4)))
+///     .buffer_depth(8)
+///     .trace(sink.clone())
+///     .build(&Stay)
+///     .expect("valid configuration");
+/// assert_eq!(net.cycle(), 0);
+/// ```
+pub struct NetworkBuilder {
+    topo: Arc<dyn Topology>,
+    cfg: SimConfig,
+    sink: Option<Arc<dyn TraceSink>>,
+    metrics: Option<Arc<MetricsRegistry>>,
+}
+
+impl NetworkBuilder {
+    /// Starts a builder over `topo` with the default [`SimConfig`].
+    pub fn new(topo: Arc<dyn Topology>) -> Self {
+        NetworkBuilder { topo, cfg: SimConfig::default(), sink: None, metrics: None }
+    }
+
+    /// Replaces the whole engine configuration at once.
+    pub fn config(mut self, cfg: SimConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Buffer depth per virtual channel, in flits.
+    pub fn buffer_depth(mut self, flits: u32) -> Self {
+        self.cfg.buffer_depth = flits;
+        self
+    }
+
+    /// Cycles one rule-interpretation step costs (§4.3 delay model).
+    pub fn decision_cycles_per_step(mut self, cycles: u32) -> Self {
+        self.cfg.decision_cycles_per_step = cycles;
+        self
+    }
+
+    /// Idle cycles (with messages in flight) before the deadlock watchdog
+    /// fires.
+    pub fn deadlock_threshold(mut self, cycles: u64) -> Self {
+        self.cfg.deadlock_threshold = cycles;
+        self
+    }
+
+    /// Favour fault-misrouted messages in switch allocation (§3).
+    pub fn prioritize_misrouted(mut self, on: bool) -> Self {
+        self.cfg.prioritize_misrouted = on;
+        self
+    }
+
+    /// Attaches a trace sink. With no sink, the network never constructs
+    /// a [`TraceEvent`].
+    pub fn trace(mut self, sink: Arc<dyn TraceSink>) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// Attaches a metrics registry; the network records its counters and
+    /// histograms under `sim.*` names.
+    pub fn metrics(mut self, registry: Arc<MetricsRegistry>) -> Self {
+        self.metrics = Some(registry);
+        self
+    }
+
+    /// Validates the configuration and builds the network running `algo`
+    /// on every node.
+    pub fn build(self, algo: &dyn RoutingAlgorithm) -> Result<Network, BuildError> {
+        if self.cfg.buffer_depth == 0 {
+            return Err(BuildError::ZeroBufferDepth);
+        }
+        if self.cfg.deadlock_threshold == 0 {
+            return Err(BuildError::ZeroDeadlockThreshold);
+        }
+        let vcs = algo.num_vcs();
+        if vcs == 0 {
+            return Err(BuildError::NoVirtualChannels);
+        }
+        let n = self.topo.num_nodes();
+        if n == 0 {
+            return Err(BuildError::EmptyTopology);
+        }
+        let degree = self.topo.degree();
+        let cfg = self.cfg;
+        let nodes = (0..n).map(|_| RouterNode::new(degree, vcs, cfg.buffer_depth)).collect();
+        let ctrls = (0..n).map(|i| algo.controller(self.topo.as_ref(), NodeId(i as u32))).collect();
+        let stats = SimStats::for_nodes(n);
+        Ok(Network {
+            topo: self.topo,
+            cfg,
+            vcs,
+            faults: FaultSet::new(),
+            nodes,
+            ctrls,
+            control: VecDeque::new(),
+            cycle: 0,
+            next_msg: 0,
+            last_move: 0,
+            measuring: false,
+            stats,
+            sink: self.sink,
+            metrics: self.metrics.map(SimMetrics::new),
+        })
+    }
+}
+
 /// The simulated network.
 pub struct Network {
     topo: Arc<dyn Topology>,
@@ -68,32 +267,39 @@ pub struct Network {
     measuring: bool,
     /// Aggregated statistics.
     pub stats: SimStats,
+    sink: Option<Arc<dyn TraceSink>>,
+    metrics: Option<SimMetrics>,
 }
 
 impl Network {
     /// Builds a fault-free network running `algo` on every node.
+    #[deprecated(since = "0.1.0", note = "use NetworkBuilder (Network::builder) instead")]
     pub fn new(topo: Arc<dyn Topology>, algo: &dyn RoutingAlgorithm, cfg: SimConfig) -> Self {
-        let vcs = algo.num_vcs();
-        let degree = topo.degree();
-        let n = topo.num_nodes();
-        let nodes = (0..n).map(|_| RouterNode::new(degree, vcs, cfg.buffer_depth)).collect();
-        let ctrls = (0..n).map(|i| algo.controller(topo.as_ref(), NodeId(i as u32))).collect();
-        let mut stats = SimStats::default();
-        stats.num_nodes = n;
-        Network {
-            topo,
-            cfg,
-            vcs,
-            faults: FaultSet::new(),
-            nodes,
-            ctrls,
-            control: VecDeque::new(),
-            cycle: 0,
-            next_msg: 0,
-            last_move: 0,
-            measuring: false,
-            stats,
+        NetworkBuilder::new(topo).config(cfg).build(algo).expect("legacy Network::new config")
+    }
+
+    /// Starts a [`NetworkBuilder`] over `topo`.
+    pub fn builder(topo: Arc<dyn Topology>) -> NetworkBuilder {
+        NetworkBuilder::new(topo)
+    }
+
+    /// Emits a trace event; the closure only runs when a sink is attached
+    /// (zero-cost-when-disabled contract).
+    #[inline]
+    fn emit(&self, kind: impl FnOnce() -> EventKind) {
+        if let Some(sink) = &self.sink {
+            sink.record(&TraceEvent { cycle: self.cycle, kind: kind() });
         }
+    }
+
+    /// The attached trace sink, if any.
+    pub fn trace_sink(&self) -> Option<&Arc<dyn TraceSink>> {
+        self.sink.as_ref()
+    }
+
+    /// The attached metrics registry, if any.
+    pub fn metrics_registry(&self) -> Option<&Arc<MetricsRegistry>> {
+        self.metrics.as_ref().map(|m| &m.registry)
     }
 
     /// Current cycle.
@@ -143,6 +349,10 @@ impl Network {
                 min_dist: self.topo.min_distance(src, dst),
             },
         );
+        self.emit(|| EventKind::Inject { msg: id.0, src, dst, len_flits });
+        if let Some(m) = &self.metrics {
+            m.injected.inc();
+        }
         self.nodes[src.idx()].staging.extend(Flit::sequence(header));
         id
     }
@@ -161,6 +371,7 @@ impl Network {
         let Some(m) = self.topo.neighbor(n, p) else { return };
         let q = self.topo.port_towards(m, n).expect("reverse port");
         self.faults.fail_link(self.topo.as_ref(), n, p);
+        self.emit(|| EventKind::LinkFault { node: n, port: p });
 
         let mut dead: HashSet<MessageId> = HashSet::new();
         for (node, port) in [(n, p), (m, q)] {
@@ -199,6 +410,7 @@ impl Network {
     /// messages destined to it, and notifies all alive neighbours.
     pub fn inject_node_fault(&mut self, n: NodeId) {
         self.faults.fail_node(n);
+        self.emit(|| EventKind::NodeFault { node: n });
         let mut dead: HashSet<MessageId> = HashSet::new();
         // everything buffered in the dead node
         for inputs in &self.nodes[n.idx()].inputs {
@@ -325,6 +537,10 @@ impl Network {
             let to = self.topo.neighbor(from, msg.port).expect("usable link");
             let from_port = self.topo.port_towards(to, from).expect("reverse");
             self.stats.control_msgs += 1;
+            self.emit(|| EventKind::ControlSend { from, to });
+            if let Some(m) = &self.metrics {
+                m.control_msgs.inc();
+            }
             self.control.push_back(ControlDelivery {
                 due: self.cycle + 1,
                 to,
@@ -345,7 +561,9 @@ impl Network {
             }
             self.step();
         }
-        Some(self.cycle - start)
+        let took = self.cycle - start;
+        self.emit(|| EventKind::ControlSettled { cycles: took });
+        Some(took)
     }
 
     /// Kills a set of messages network-wide (ripped worms / unroutable).
@@ -391,8 +609,17 @@ impl Network {
         for &id in ids {
             if unroutable {
                 self.stats.on_unroutable(id);
+                self.emit(|| EventKind::Unroutable { msg: id.0 });
             } else {
                 self.stats.on_kill(id);
+                self.emit(|| EventKind::Kill { msg: id.0 });
+            }
+            if let Some(m) = &self.metrics {
+                if unroutable {
+                    m.unroutable.inc();
+                } else {
+                    m.killed.inc();
+                }
             }
         }
         self.recompute_credits_and_loads();
@@ -462,6 +689,15 @@ impl Network {
         let topo = Arc::clone(&self.topo);
         let degree = topo.degree();
         let mut moved = false;
+
+        // periodic buffer-occupancy sampling (only when metrics attached)
+        if let Some(m) = &self.metrics {
+            if self.cycle.is_multiple_of(OCCUPANCY_SAMPLE_PERIOD) {
+                for node in &self.nodes {
+                    m.buffer_occupancy.observe(node.buffered_flits() as u64);
+                }
+            }
+        }
 
         // 1. control-plane deliveries due this cycle
         let mut due = Vec::new();
@@ -558,7 +794,17 @@ impl Network {
                     let is_tail = matches!(flit.kind, FlitKind::Tail)
                         || matches!(flit.kind, FlitKind::Head(h) if h.len_flits <= 1);
                     if is_tail {
-                        self.stats.on_deliver(flit.msg, self.cycle);
+                        let meta = self.stats.on_deliver(flit.msg, self.cycle);
+                        self.emit(|| EventKind::Deliver { node: n, msg: flit.msg.0 });
+                        if let Some(m) = &self.metrics {
+                            m.delivered.inc();
+                            if let Some(meta) = meta {
+                                m.latency.observe(self.cycle - meta.inject_cycle);
+                                m.hops.observe(meta.hops as u64);
+                                m.excess_hops
+                                    .observe(meta.hops.saturating_sub(meta.min_dist) as u64);
+                            }
+                        }
                         self.nodes[ni].inputs[ip][iv].reset_route();
                     }
                     if ip < degree {
@@ -683,11 +929,27 @@ impl Network {
         };
         // destination reached: deliver without consulting the algorithm
         if header_copy.dst == n {
-            let vc = &mut self.nodes[n.idx()].inputs[ip][iv];
-            vc.route = RouteState::Local;
-            if !vc.counted {
+            let first_count = {
+                let vc = &mut self.nodes[n.idx()].inputs[ip][iv];
+                vc.route = RouteState::Local;
+                let first = !vc.counted;
                 vc.counted = true;
+                first
+            };
+            if first_count {
                 self.stats.decision_steps.add(0);
+                self.emit(|| EventKind::RouteDecision {
+                    node: n,
+                    msg: header_copy.msg.0,
+                    in_port,
+                    in_vc: VcId(iv as u8),
+                    outcome: RouteOutcome::Deliver,
+                    steps: 0,
+                    misrouted: header_copy.misrouted,
+                });
+                if let Some(m) = &self.metrics {
+                    m.decision_steps.observe(0);
+                }
             }
             return;
         }
@@ -706,6 +968,23 @@ impl Network {
             if !self.nodes[n.idx()].inputs[ip][iv].counted {
                 self.nodes[n.idx()].inputs[ip][iv].counted = true;
                 self.stats.decision_steps.add(dec.steps as u64);
+                self.emit(|| EventKind::RouteDecision {
+                    node: n,
+                    msg: header_copy.msg.0,
+                    in_port,
+                    in_vc: VcId(iv as u8),
+                    outcome: match dec.verdict {
+                        Verdict::Route(p, v) => RouteOutcome::Routed(p, v),
+                        Verdict::Deliver => RouteOutcome::Deliver,
+                        Verdict::Wait => RouteOutcome::Wait,
+                        Verdict::Unroutable => RouteOutcome::Unroutable,
+                    },
+                    steps: dec.steps,
+                    misrouted: header.misrouted,
+                });
+                if let Some(m) = &self.metrics {
+                    m.decision_steps.observe(dec.steps as u64);
+                }
             }
             let delay = dec.steps.saturating_mul(self.cfg.decision_cycles_per_step).max(1);
             if delay > 1 {
@@ -729,6 +1008,16 @@ impl Network {
                     && v.idx() < self.vcs
                     && self.faults.link_usable(self.topo.as_ref(), n, p)
                     && self.nodes[n.idx()].out_channel_free(p.idx(), v.idx());
+                if !ok {
+                    // granted a route but the output channel is unusable
+                    // this cycle: a VC-allocation stall
+                    self.emit(|| EventKind::VcStall {
+                        node: n,
+                        msg: header_copy.msg.0,
+                        port: p,
+                        vc: v,
+                    });
+                }
                 if ok {
                     let misrouted = self.nodes[n.idx()].inputs[ip][iv]
                         .fifo
@@ -932,8 +1221,96 @@ mod tests {
     fn mesh_net(side: u32, steps: u32, cfg: SimConfig) -> (Arc<Mesh2D>, Network) {
         let topo = Arc::new(Mesh2D::new(side, side));
         let algo = Xy { mesh: (*topo).clone(), steps };
-        let net = Network::new(topo.clone(), &algo, cfg);
+        let net = Network::builder(topo.clone()).config(cfg).build(&algo).expect("valid config");
         (topo, net)
+    }
+
+    #[test]
+    fn builder_rejects_invalid_configs() {
+        let topo = Arc::new(Mesh2D::new(3, 3));
+        let algo = Xy { mesh: (*topo).clone(), steps: 1 };
+        assert_eq!(
+            Network::builder(topo.clone()).buffer_depth(0).build(&algo).err(),
+            Some(BuildError::ZeroBufferDepth)
+        );
+        assert_eq!(
+            Network::builder(topo.clone()).deadlock_threshold(0).build(&algo).err(),
+            Some(BuildError::ZeroDeadlockThreshold)
+        );
+        struct NoVc;
+        impl RoutingAlgorithm for NoVc {
+            fn name(&self) -> String {
+                "novc".into()
+            }
+            fn num_vcs(&self) -> usize {
+                0
+            }
+            fn controller(&self, _t: &dyn Topology, _n: NodeId) -> Box<dyn NodeController> {
+                unreachable!()
+            }
+        }
+        assert_eq!(
+            Network::builder(topo.clone()).build(&NoVc).err(),
+            Some(BuildError::NoVirtualChannels)
+        );
+    }
+
+    #[test]
+    fn trace_events_cover_message_lifecycle() {
+        let topo = Arc::new(Mesh2D::new(4, 4));
+        let algo = Xy { mesh: (*topo).clone(), steps: 2 };
+        let sink = Arc::new(ftr_obs::RingSink::new(4096));
+        let registry = Arc::new(MetricsRegistry::new());
+        let mut net = Network::builder(topo.clone())
+            .trace(sink.clone())
+            .metrics(registry.clone())
+            .build(&algo)
+            .expect("valid config");
+        net.set_measuring(true);
+        let id = net.send(topo.node_at(0, 0), topo.node_at(2, 1), 4);
+        assert!(net.drain(1_000));
+
+        let events = sink.events();
+        assert!(!events.is_empty());
+        // cycle stamps never decrease
+        assert!(events.windows(2).all(|w| w[0].cycle <= w[1].cycle));
+        // inject precedes every decision, which precede the delivery
+        let tags: Vec<&str> = events.iter().map(|e| e.kind.tag()).collect();
+        assert_eq!(tags.first(), Some(&"inject"));
+        assert_eq!(tags.last(), Some(&"deliver"));
+        // per-hop decisions: 3 hops = decisions at (0,0), (1,0), (2,0); the
+        // destination's 0-step delivery shortcut also records one
+        let decisions = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::RouteDecision { msg, .. } if msg == id.0))
+            .count();
+        assert_eq!(decisions, 4);
+        // trace-derived step totals agree with the stats accumulator
+        let steps_from_trace: u64 = events
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::RouteDecision { steps, .. } => Some(steps as u64),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(steps_from_trace, net.stats.decision_steps.sum);
+        // metrics registry saw the same traffic
+        assert_eq!(registry.counter_value("sim.injected"), Some(1));
+        assert_eq!(registry.counter_value("sim.delivered"), Some(1));
+        let lat = registry.histogram_snapshot("sim.latency").expect("latency recorded");
+        assert_eq!(lat.count, 1);
+        assert_eq!(lat.sum, net.stats.latency.sum);
+    }
+
+    #[test]
+    fn no_sink_means_no_events_and_working_sim() {
+        let (topo, mut net) = mesh_net(4, 1, SimConfig::default());
+        assert!(net.trace_sink().is_none());
+        assert!(net.metrics_registry().is_none());
+        net.send(topo.node_at(0, 0), topo.node_at(3, 3), 4);
+        assert!(net.drain(1_000));
+        assert_eq!(net.stats.delivered_msgs, 1);
+        assert!(net.stats.accounting_balanced());
     }
 
     #[test]
@@ -1000,7 +1377,7 @@ mod tests {
         let topo = Arc::new(Mesh2D::new(3, 3));
         let algo = GreedyAdaptive { mesh: (*topo).clone() };
         let cfg = SimConfig { buffer_depth: 1, deadlock_threshold: 200, ..Default::default() };
-        let mut net = Network::new(topo.clone(), &algo, cfg);
+        let mut net = Network::builder(topo.clone()).config(cfg).build(&algo).expect("valid");
         // four corner-to-corner messages forming a cycle of turns
         net.send(topo.node_at(0, 0), topo.node_at(2, 2), 32);
         net.send(topo.node_at(2, 0), topo.node_at(0, 2), 32);
@@ -1012,7 +1389,7 @@ mod tests {
         assert!(!drained || net.stats.deadlock || net.stats.delivered_msgs == 4);
         // the XY router under identical load must NOT deadlock
         let algo2 = Xy { mesh: (*topo).clone(), steps: 1 };
-        let mut net2 = Network::new(topo.clone(), &algo2, cfg);
+        let mut net2 = Network::builder(topo.clone()).config(cfg).build(&algo2).expect("valid");
         net2.send(topo.node_at(0, 0), topo.node_at(2, 2), 32);
         net2.send(topo.node_at(2, 0), topo.node_at(0, 2), 32);
         net2.send(topo.node_at(2, 2), topo.node_at(0, 0), 32);
@@ -1080,7 +1457,7 @@ mod tests {
             }
         }
         let topo = Arc::new(Mesh2D::new(3, 3));
-        let mut net = Network::new(topo.clone(), &Refuse, SimConfig::default());
+        let mut net = Network::builder(topo.clone()).build(&Refuse).expect("valid");
         net.send(topo.node_at(0, 0), topo.node_at(2, 2), 4);
         net.run(10);
         assert_eq!(net.stats.unroutable_msgs, 1);
@@ -1153,7 +1530,7 @@ mod tests {
             }
         }
         let topo = Arc::new(Mesh2D::new(5, 5));
-        let mut net = Network::new(topo.clone(), &Gossip, SimConfig::default());
+        let mut net = Network::builder(topo.clone()).build(&Gossip).expect("valid");
         net.inject_link_fault(topo.node_at(2, 2), EAST);
         let settled = net.settle_control(1_000).expect("settles");
         // flood reaches the far corner within diameter+1 cycles

@@ -96,6 +96,11 @@ pub struct SimStats {
 }
 
 impl SimStats {
+    /// Fresh stats for a network of `num_nodes` nodes.
+    pub fn for_nodes(num_nodes: usize) -> Self {
+        SimStats { num_nodes, ..Default::default() }
+    }
+
     /// Registers an injected message.
     pub fn on_inject(&mut self, id: MessageId, meta: MsgMeta) {
         self.injected_msgs += 1;
@@ -110,10 +115,13 @@ impl SimStats {
         }
     }
 
-    /// Registers a completed delivery (tail ejected) at `cycle`.
-    pub fn on_deliver(&mut self, id: MessageId, cycle: u64) {
+    /// Registers a completed delivery (tail ejected) at `cycle`. Returns
+    /// the message's bookkeeping so callers (the network's observability
+    /// hooks) can derive latency and dilation without double-tracking.
+    pub fn on_deliver(&mut self, id: MessageId, cycle: u64) -> Option<MsgMeta> {
         self.delivered_msgs += 1;
-        if let Some(m) = self.meta.remove(&id) {
+        let meta = self.meta.remove(&id);
+        if let Some(m) = meta {
             if m.measured {
                 self.measured_delivered += 1;
                 self.measured_flits += m.len_flits as u64;
@@ -128,6 +136,7 @@ impl SimStats {
                 self.excess_hops += (m.hops.saturating_sub(m.min_dist)) as u64;
             }
         }
+        meta
     }
 
     /// Registers a killed message.
@@ -145,6 +154,18 @@ impl SimStats {
     /// Messages injected but not yet delivered/killed.
     pub fn in_flight(&self) -> usize {
         self.meta.len()
+    }
+
+    /// Messages that terminated (delivered, killed, or unroutable).
+    pub fn terminated(&self) -> u64 {
+        self.delivered_msgs + self.killed_msgs + self.unroutable_msgs
+    }
+
+    /// The conservation invariant every simulation must maintain:
+    /// `delivered + killed + unroutable + in_flight == injected`.
+    /// A violation means a message leaked or was double-counted.
+    pub fn accounting_balanced(&self) -> bool {
+        self.terminated() + self.in_flight() as u64 == self.injected_msgs
     }
 
     /// True while a message is still tracked (injected, not terminated).
@@ -223,6 +244,28 @@ mod tests {
         assert_eq!(s.excess_hops, 1);
         assert!((s.delivery_ratio() - 1.0 / 3.0).abs() < 1e-9);
         assert!((s.throughput() - 4.0 / 400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn accounting_invariant_holds_through_lifecycle() {
+        let mut s = SimStats::default();
+        let meta = MsgMeta { inject_cycle: 0, len_flits: 1, measured: false, hops: 0, min_dist: 1 };
+        assert!(s.accounting_balanced(), "empty stats balance");
+        for i in 0..4 {
+            s.on_inject(MessageId(i), meta);
+            assert!(s.accounting_balanced(), "after inject {i}");
+        }
+        s.on_deliver(MessageId(0), 10);
+        assert!(s.accounting_balanced());
+        s.on_kill(MessageId(1));
+        assert!(s.accounting_balanced());
+        s.on_unroutable(MessageId(2));
+        assert!(s.accounting_balanced());
+        assert_eq!(s.terminated(), 3);
+        assert_eq!(s.in_flight(), 1);
+        // a double-termination would break the balance
+        s.on_kill(MessageId(0));
+        assert!(!s.accounting_balanced(), "double-count must be visible");
     }
 
     #[test]

@@ -20,13 +20,17 @@ where
         return Vec::new();
     }
     let threads = max_threads.max(1).min(n);
-    let mut results: Vec<Option<O>> = (0..n).map(|_| None).collect();
+    // one lock per output slot: writers never contend with each other (each
+    // index is claimed by exactly one worker), unlike a single global mutex
+    // around the whole result vector which serialises every store
+    let slots: Vec<parking_lot::Mutex<Option<O>>> =
+        (0..n).map(|_| parking_lot::Mutex::new(None)).collect();
 
     // hand out (index, input) pairs through a shared atomic cursor
     let cursor = std::sync::atomic::AtomicUsize::new(0);
     let inputs_ref = &inputs;
     let job_ref = &job;
-    let results_mutex = parking_lot::Mutex::new(&mut results);
+    let slots_ref = &slots;
 
     thread::scope(|s| {
         for _ in 0..threads {
@@ -36,13 +40,13 @@ where
                     break;
                 }
                 let out = job_ref(&inputs_ref[i]);
-                results_mutex.lock()[i] = Some(out);
+                *slots_ref[i].lock() = Some(out);
             });
         }
     })
     .expect("sweep worker panicked");
 
-    results.into_iter().map(|r| r.expect("all slots filled")).collect()
+    slots.into_iter().map(|c| c.into_inner().expect("all slots filled")).collect()
 }
 
 /// Default sweep parallelism: the machine's logical CPU count.

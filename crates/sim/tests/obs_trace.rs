@@ -1,0 +1,194 @@
+//! Integration tests of the observability layer against a live
+//! simulation: accounting invariants, trace-stream well-formedness, and
+//! sweep determinism.
+
+use ftr_obs::{EventKind, MetricsRegistry, RingSink};
+use ftr_sim::flit::Header;
+use ftr_sim::routing::{Decision, NodeController, RouterView, RoutingAlgorithm, Verdict};
+use ftr_sim::{run_sweep, Network, Pattern, TrafficSource};
+use ftr_topo::{Mesh2D, NodeId, PortId, Topology, VcId, EAST, NORTH, SOUTH, WEST};
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// Minimal XY router (same control algorithm as the prop tests).
+struct Xy(Mesh2D);
+struct XyCtl(Mesh2D);
+
+impl RoutingAlgorithm for Xy {
+    fn name(&self) -> String {
+        "obs-xy".into()
+    }
+    fn num_vcs(&self) -> usize {
+        1
+    }
+    fn controller(&self, _t: &dyn Topology, _n: NodeId) -> Box<dyn NodeController> {
+        Box::new(XyCtl(self.0.clone()))
+    }
+}
+
+impl NodeController for XyCtl {
+    fn route(
+        &mut self,
+        view: &RouterView<'_>,
+        h: &mut Header,
+        _ip: Option<PortId>,
+        _iv: VcId,
+    ) -> Decision {
+        let (dx, dy) = self.0.offset(view.node, h.dst);
+        let p = if dx > 0 {
+            EAST
+        } else if dx < 0 {
+            WEST
+        } else if dy > 0 {
+            NORTH
+        } else if dy < 0 {
+            SOUTH
+        } else {
+            return Decision::new(Verdict::Deliver, 1);
+        };
+        if !view.link_alive[p.idx()] {
+            return Decision::new(Verdict::Unroutable, 1);
+        }
+        if view.out_free[p.idx()][0] {
+            Decision::new(Verdict::Route(p, VcId(0)), 1)
+        } else {
+            Decision::new(Verdict::Wait, 1)
+        }
+    }
+}
+
+fn traced_run(seed: u64, cycles: u64, fault_at: Option<u64>) -> (Network, Arc<RingSink>) {
+    let mesh = Mesh2D::new(5, 5);
+    let sink = Arc::new(RingSink::new(1 << 20));
+    let mut net = Network::builder(Arc::new(mesh.clone()))
+        .trace(sink.clone())
+        .build(&Xy(mesh.clone()))
+        .expect("valid config");
+    let mut tf = TrafficSource::new(Pattern::Uniform, 0.1, 4, seed);
+    for c in 0..cycles {
+        if Some(c) == fault_at {
+            net.inject_link_fault(mesh.node_at(2, 2), EAST);
+        }
+        for (s, d, l) in tf.tick(&mesh, net.faults()) {
+            net.send(s, d, l);
+        }
+        net.step();
+    }
+    net.drain(50_000);
+    (net, sink)
+}
+
+#[test]
+fn stats_accounting_balances_throughout_a_faulty_run() {
+    let mesh = Mesh2D::new(5, 5);
+    let mut net =
+        Network::builder(Arc::new(mesh.clone())).build(&Xy(mesh.clone())).expect("valid config");
+    let mut tf = TrafficSource::new(Pattern::Uniform, 0.15, 4, 7);
+    for c in 0..600u64 {
+        if c == 200 {
+            net.inject_link_fault(mesh.node_at(1, 1), EAST);
+        }
+        if c == 400 {
+            net.inject_node_fault(mesh.node_at(3, 3));
+        }
+        for (s, d, l) in tf.tick(&mesh, net.faults()) {
+            net.send(s, d, l);
+        }
+        net.step();
+        // the invariant holds on EVERY cycle, not just at quiescence
+        assert!(net.stats.accounting_balanced(), "cycle {c}: {:?}", net.stats);
+    }
+    net.drain(50_000);
+    assert!(net.stats.accounting_balanced());
+    assert_eq!(net.in_flight(), 0);
+    assert!(net.stats.killed_msgs + net.stats.unroutable_msgs > 0, "faults had casualties");
+}
+
+#[test]
+fn trace_stream_is_cycle_monotone_and_causally_ordered() {
+    let (net, sink) = traced_run(11, 800, Some(300));
+    assert_eq!(sink.dropped(), 0, "ring sized for the full run");
+    let events = sink.events();
+    assert!(!events.is_empty());
+
+    // cycle stamps never decrease
+    assert!(events.windows(2).all(|w| w[0].cycle <= w[1].cycle), "trace is cycle-monotone");
+
+    // per message: inject first, then decisions/stalls, then exactly one
+    // terminal event (deliver / kill / unroutable)
+    let mut injected_at: HashMap<u64, u64> = HashMap::new();
+    let mut terminated: HashSet<u64> = HashSet::new();
+    for ev in &events {
+        match &ev.kind {
+            EventKind::Inject { msg, .. } => {
+                assert!(injected_at.insert(*msg, ev.cycle).is_none(), "msg {msg} double-inject");
+            }
+            EventKind::RouteDecision { msg, .. } | EventKind::VcStall { msg, .. } => {
+                assert!(injected_at.contains_key(msg), "decision before inject for {msg}");
+                assert!(!terminated.contains(msg), "decision after termination for {msg}");
+            }
+            EventKind::Deliver { msg, .. }
+            | EventKind::Kill { msg }
+            | EventKind::Unroutable { msg } => {
+                assert!(injected_at.contains_key(msg), "terminal before inject for {msg}");
+                assert!(terminated.insert(*msg), "msg {msg} terminated twice");
+            }
+            _ => {}
+        }
+    }
+    assert_eq!(injected_at.len() as u64, net.stats.injected_msgs);
+    assert_eq!(terminated.len() as u64, net.stats.terminated());
+
+    // the fault injection shows up exactly once
+    let faults = events.iter().filter(|e| matches!(e.kind, EventKind::LinkFault { .. })).count();
+    assert_eq!(faults, 1);
+}
+
+#[test]
+fn trace_derived_steps_match_engine_stats() {
+    let (net, sink) = traced_run(23, 600, None);
+    assert_eq!(sink.dropped(), 0);
+    let (mut count, mut sum) = (0u64, 0u64);
+    for ev in sink.events() {
+        if let EventKind::RouteDecision { steps, .. } = ev.kind {
+            count += 1;
+            sum += steps as u64;
+        }
+    }
+    assert_eq!(count, net.stats.decision_steps.count);
+    assert_eq!(sum, net.stats.decision_steps.sum);
+}
+
+#[test]
+fn sweep_is_deterministic_across_thread_counts() {
+    let loads: Vec<u64> = (0..12).collect();
+    let job = |&seed: &u64| {
+        let mesh = Mesh2D::new(4, 4);
+        let registry = Arc::new(MetricsRegistry::new());
+        let mut net = Network::builder(Arc::new(mesh.clone()))
+            .metrics(registry.clone())
+            .build(&Xy(mesh.clone()))
+            .expect("valid config");
+        let mut tf = TrafficSource::new(Pattern::Uniform, 0.12, 4, seed);
+        net.set_measuring(true);
+        for _ in 0..300 {
+            for (s, d, l) in tf.tick(&mesh, net.faults()) {
+                net.send(s, d, l);
+            }
+            net.step();
+        }
+        net.drain(20_000);
+        assert_eq!(
+            registry.counter_value("sim.delivered"),
+            Some(net.stats.delivered_msgs),
+            "registry mirrors stats"
+        );
+        (net.stats.delivered_msgs, net.stats.latency.sum, net.stats.hops.sum)
+    };
+    let one = run_sweep(loads.clone(), 1, job);
+    let four = run_sweep(loads.clone(), 4, job);
+    let sixteen = run_sweep(loads.clone(), 16, job);
+    assert_eq!(one, four, "1 vs 4 threads");
+    assert_eq!(one, sixteen, "1 vs 16 threads");
+    assert!(one.iter().all(|&(d, _, _)| d > 0), "every slot simulated traffic");
+}

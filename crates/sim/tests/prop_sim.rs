@@ -70,7 +70,7 @@ proptest! {
         cycles in 50u64..500,
     ) {
         let mesh = Mesh2D::new(4, 4);
-        let mut net = Network::new(Arc::new(mesh.clone()), &Xy(mesh.clone()), SimConfig::default());
+        let mut net = Network::builder(Arc::new(mesh.clone())).build(&Xy(mesh.clone())).expect("valid config");
         let mut tf = TrafficSource::new(Pattern::Uniform, rate, len, seed);
         for _ in 0..cycles {
             for (s, d, l) in tf.tick(&mesh, net.faults()) {
@@ -93,7 +93,7 @@ proptest! {
     #[test]
     fn latency_lower_bound(seed in 0u64..1000, len in 1u32..6) {
         let mesh = Mesh2D::new(5, 5);
-        let mut net = Network::new(Arc::new(mesh.clone()), &Xy(mesh.clone()), SimConfig::default());
+        let mut net = Network::builder(Arc::new(mesh.clone())).build(&Xy(mesh.clone())).expect("valid config");
         net.set_measuring(true);
         let src = NodeId(seed as u32 % 25);
         let dst = NodeId((seed as u32 + 7) % 25);
@@ -119,7 +119,7 @@ proptest! {
         dir in 0u8..4,
     ) {
         let mesh = Mesh2D::new(4, 4);
-        let mut net = Network::new(Arc::new(mesh.clone()), &Xy(mesh.clone()), SimConfig::default());
+        let mut net = Network::builder(Arc::new(mesh.clone())).build(&Xy(mesh.clone())).expect("valid config");
         let mut tf = TrafficSource::new(Pattern::Uniform, 0.15, 4, seed);
         for c in 0..400u64 {
             if c == fault_cycle {
@@ -150,7 +150,7 @@ proptest! {
         let mut lat = Vec::new();
         for cps in [1u32, steps] {
             let cfg = SimConfig { decision_cycles_per_step: cps, ..Default::default() };
-            let mut net = Network::new(Arc::new(mesh.clone()), &Xy(mesh.clone()), cfg);
+            let mut net = Network::builder(Arc::new(mesh.clone())).config(cfg).build(&Xy(mesh.clone())).expect("valid config");
             net.set_measuring(true);
             net.send(src, dst, 2);
             prop_assert!(net.drain(10_000));
@@ -164,7 +164,7 @@ proptest! {
     #[test]
     fn throughput_consistency(rate in 0.02f64..0.2, seed in 0u64..200) {
         let mesh = Mesh2D::new(4, 4);
-        let mut net = Network::new(Arc::new(mesh.clone()), &Xy(mesh.clone()), SimConfig::default());
+        let mut net = Network::builder(Arc::new(mesh.clone())).build(&Xy(mesh.clone())).expect("valid config");
         let mut tf = TrafficSource::new(Pattern::Uniform, rate, 4, seed);
         net.set_measuring(true);
         net.add_measured_cycles(300);

@@ -13,8 +13,8 @@
 //! ```
 
 use ftrouter::core::{configure, RuleRouter};
-use ftrouter::sim::{Network, SimConfig};
-use ftrouter::topo::{Mesh2D, EAST};
+use ftrouter::prelude::*;
+use ftrouter::topo::EAST;
 use std::sync::Arc;
 
 /// North-last turn model: adaptive among E/W/S first, north hops last.
@@ -60,7 +60,7 @@ fn run(name: &str, src: &str, mesh: &Mesh2D) -> (u64, u64) {
         cfg.cost.rulebases.len()
     );
     let router = RuleRouter::new(cfg, mesh.clone(), 1);
-    let mut net = Network::new(Arc::new(mesh.clone()), &router, SimConfig::default());
+    let mut net = Network::builder(Arc::new(mesh.clone())).build(&router).expect("valid config");
     // fault on the x-first path from (0,2) to (3,1)
     net.inject_link_fault(mesh.node_at(1, 2), EAST);
     net.send(mesh.node_at(0, 2), mesh.node_at(3, 1), 4);

@@ -10,15 +10,14 @@
 //! cargo run --example fault_tolerant_mesh
 //! ```
 
-use ftrouter::algos::Nafta;
-use ftrouter::sim::{Network, Pattern, SimConfig, TrafficSource};
-use ftrouter::topo::{Mesh2D, EAST, NORTH};
+use ftrouter::prelude::*;
+use ftrouter::topo::{EAST, NORTH};
 use std::sync::Arc;
 
 fn main() {
     let mesh = Mesh2D::new(8, 8);
     let algo = Nafta::new(mesh.clone());
-    let mut net = Network::new(Arc::new(mesh.clone()), &algo, SimConfig::default());
+    let mut net = Network::builder(Arc::new(mesh.clone())).build(&algo).expect("valid config");
     let mut traffic = TrafficSource::new(Pattern::Uniform, 0.15, 4, 2);
 
     net.set_measuring(true);

@@ -10,9 +10,7 @@
 //! ```
 
 use ftrouter::algos::route_c::{totally_unsafe, SafetyState};
-use ftrouter::algos::RouteC;
-use ftrouter::sim::{Network, Pattern, SimConfig, TrafficSource};
-use ftrouter::topo::{Hypercube, NodeId, Topology};
+use ftrouter::prelude::*;
 use std::sync::Arc;
 
 fn state_histogram(net: &Network, cube: &Hypercube) -> [usize; 5] {
@@ -38,7 +36,7 @@ fn print_states(label: &str, h: [usize; 5]) {
 fn main() {
     let cube = Hypercube::new(6);
     let algo = RouteC::new(cube.clone());
-    let mut net = Network::new(Arc::new(cube.clone()), &algo, SimConfig::default());
+    let mut net = Network::builder(Arc::new(cube.clone())).build(&algo).expect("valid config");
 
     print_states("initial   ", state_histogram(&net, &cube));
 

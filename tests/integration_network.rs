@@ -6,12 +6,12 @@ use ftrouter::algos::{
 };
 use ftrouter::core::{configure, registry, RuleRouter};
 use ftrouter::sim::routing::RoutingAlgorithm;
-use ftrouter::sim::{Network, Pattern, SimConfig, TrafficSource};
+use ftrouter::sim::{Network, Pattern, TrafficSource};
 use ftrouter::topo::{FaultSet, Hypercube, Mesh2D, Topology};
 use std::sync::Arc;
 
 fn all_pairs<T: Topology + Clone + 'static>(topo: &T, algo: &dyn RoutingAlgorithm) -> Network {
-    let mut net = Network::new(Arc::new(topo.clone()), algo, SimConfig::default());
+    let mut net = Network::builder(Arc::new(topo.clone())).build(algo).expect("valid config");
     net.set_measuring(true);
     for a in topo.nodes() {
         for b in topo.nodes() {
@@ -104,7 +104,8 @@ fn rule_driven_routers_survive_sustained_traffic() {
     for name in ["xy", "west_first"] {
         let cfg = registry::configuration(name).unwrap();
         let router = RuleRouter::new(cfg, mesh.clone(), 1);
-        let mut net = Network::new(Arc::new(mesh.clone()), &router, SimConfig::default());
+        let mut net =
+            Network::builder(Arc::new(mesh.clone())).build(&router).expect("valid config");
         let mut tf = TrafficSource::new(Pattern::Uniform, 0.15, 4, 77);
         for _ in 0..600 {
             for (s, d, l) in tf.tick(&mesh, net.faults()) {
@@ -126,7 +127,8 @@ fn adaptive_beats_oblivious_on_transpose_traffic() {
         ("xy", Box::new(XyRouting::new(mesh.clone())) as Box<dyn RoutingAlgorithm>),
         ("nara", Box::new(Nara::new(mesh.clone()))),
     ] {
-        let mut net = Network::new(Arc::new(mesh.clone()), algo.as_ref(), SimConfig::default());
+        let mut net =
+            Network::builder(Arc::new(mesh.clone())).build(algo.as_ref()).expect("valid config");
         let mut tf = TrafficSource::new(Pattern::Transpose { side: 6 }, 0.25, 4, 5);
         for _ in 0..600 {
             for (s, d, l) in tf.tick(&mesh, net.faults()) {
@@ -160,7 +162,7 @@ fn nafta_delivers_under_random_fault_batches() {
         let mut faults = FaultSet::new();
         faults.inject_random_links(&mesh, 5, true, seed);
         let algo = Nafta::new(mesh.clone());
-        let mut net = Network::new(Arc::new(mesh.clone()), &algo, SimConfig::default());
+        let mut net = Network::builder(Arc::new(mesh.clone())).build(&algo).expect("valid config");
         net.apply_fault_set(&faults);
         net.settle_control(100_000).unwrap();
         net.set_measuring(true);
@@ -198,7 +200,7 @@ fn rule_driven_route_c_matches_native_behaviour() {
 
     let mut results = Vec::new();
     for algo in [&native as &dyn RoutingAlgorithm, &ruled] {
-        let mut net = Network::new(Arc::new(cube.clone()), algo, SimConfig::default());
+        let mut net = Network::builder(Arc::new(cube.clone())).build(algo).expect("valid config");
         net.inject_node_fault(ftrouter::topo::NodeId(11));
         net.settle_control(10_000).unwrap();
         net.set_measuring(true);
