@@ -197,7 +197,7 @@ mod tests {
         for a in topo.nodes() {
             for b in topo.nodes() {
                 if a != b {
-                    net.send(a, b, 2);
+                    net.send(a, b, 2).unwrap();
                 }
             }
         }
@@ -215,7 +215,7 @@ mod tests {
         let mut net =
             Network::builder(topo.clone()).build(&XyRouting::new(mesh)).expect("valid config");
         net.inject_link_fault(topo.node_at(1, 0), EAST);
-        net.send(topo.node_at(0, 0), topo.node_at(3, 0), 2);
+        net.send(topo.node_at(0, 0), topo.node_at(3, 0), 2).unwrap();
         net.run(50);
         assert_eq!(net.stats.unroutable_msgs, 1, "oblivious cannot avoid faults");
     }
@@ -229,7 +229,7 @@ mod tests {
         for a in topo.nodes() {
             for b in topo.nodes() {
                 if a != b {
-                    net.send(a, b, 2);
+                    net.send(a, b, 2).unwrap();
                 }
             }
         }
@@ -382,7 +382,7 @@ mod kary_tests {
         for a in topo.nodes() {
             for b in topo.nodes() {
                 if a != b {
-                    net.send(a, b, 2);
+                    net.send(a, b, 2).unwrap();
                 }
             }
         }

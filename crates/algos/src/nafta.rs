@@ -44,6 +44,12 @@ const TAG_COLFAULT: i64 = 2;
 const TAG_DEADEND_E: i64 = 3;
 const TAG_DEADEND_W: i64 = 4;
 const TAG_LINKS: i64 = 5;
+/// Reconfiguration wave after a repair: `[TAG_RESET, epoch]`. All wave
+/// state is accumulated monotonically (OR), so un-learning a repaired
+/// fault needs an explicit epoch-tagged reset flood — every node clears
+/// its remote-derived state, re-derives local contributions and
+/// re-announces, re-running the §2.2 propagation from scratch.
+const TAG_RESET: i64 = 6;
 
 /// The NAFTA algorithm.
 #[derive(Clone)]
@@ -92,6 +98,9 @@ pub struct NaftaController {
     nb_dead: [u8; 4],
     /// Last values sent per (port, tag-slot) to avoid re-flooding.
     last_sent: [[Option<i64>; 5]; 4],
+    /// Reconfiguration epoch: bumped by each repair-triggered reset wave so
+    /// concurrent/stale waves are absorbed instead of looping forever.
+    epoch: u64,
 }
 
 impl NaftaController {
@@ -108,7 +117,29 @@ impl NaftaController {
             de_in: [false; 2],
             nb_dead: [0; 4],
             last_sent: [[None; 5]; 4],
+            epoch: 0,
         }
+    }
+
+    /// Joins reconfiguration epoch `e`: forgets every remote-derived fact,
+    /// re-derives the local ones, and floods both the reset marker and the
+    /// fresh announcements to all reachable neighbours.
+    fn start_reset(&mut self, e: u64) -> Vec<ControlMsg> {
+        self.epoch = e;
+        self.neighbor_unsafe = [false; 4];
+        self.deactivated = false;
+        self.col_seg = [false; 2];
+        self.de_in = [false; 2];
+        self.nb_dead = [0; 4];
+        self.last_sent = [[None; 5]; 4];
+        self.update_deactivation();
+        let mut out: Vec<ControlMsg> = ftr_topo::mesh::MESH_PORTS
+            .iter()
+            .filter(|&&p| self.mesh.neighbor(self.node, p).is_some() && !self.link_dead[p.idx()])
+            .map(|&p| ControlMsg { port: p, payload: vec![TAG_RESET, e as i64] })
+            .collect();
+        out.extend(self.broadcast_updates());
+        out
     }
 
     /// Local contribution to the column-fault wave.
@@ -453,6 +484,11 @@ impl NodeController for NaftaController {
         self.broadcast_updates()
     }
 
+    fn on_repair(&mut self, _view: &RouterView<'_>, port: PortId) -> Vec<ControlMsg> {
+        self.link_dead[port.idx()] = false;
+        self.start_reset(self.epoch + 1)
+    }
+
     fn on_control(
         &mut self,
         _view: &RouterView<'_>,
@@ -463,6 +499,18 @@ impl NodeController for NaftaController {
             return Vec::new();
         }
         let (tag, val) = (payload[0], payload[1] != 0);
+        if tag == TAG_RESET {
+            let e = payload[1] as u64;
+            if e > self.epoch {
+                // first contact with this reconfiguration wave: clear and
+                // re-announce everywhere (forwards the wave itself too)
+                return self.start_reset(e);
+            }
+            // duplicate/stale wave: the sender just cleared its state, so
+            // everything we already told it is forgotten — re-send
+            self.last_sent[from.idx()] = [None; 5];
+            return self.broadcast_updates();
+        }
         // TAG_LINKS carries a bitmask, handled below with the raw payload
         match tag {
             TAG_DEACT if val => {
@@ -525,7 +573,7 @@ mod tests {
         for a in mesh.nodes() {
             for b in mesh.nodes() {
                 if a != b {
-                    net.send(a, b, 2);
+                    net.send(a, b, 2).unwrap();
                 }
             }
         }
@@ -543,7 +591,7 @@ mod tests {
         for a in mesh.nodes() {
             for b in mesh.nodes() {
                 if a != b {
-                    net.send(a, b, 2);
+                    net.send(a, b, 2).unwrap();
                 }
             }
         }
@@ -558,7 +606,7 @@ mod tests {
         // block the whole minimal quadrant exit of (2,2) towards east
         let mut net = net_with(&mesh, &[(2, 2, EAST), (2, 2, NORTH)]);
         net.set_measuring(true);
-        net.send(mesh.node_at(2, 2), mesh.node_at(4, 4), 2);
+        net.send(mesh.node_at(2, 2), mesh.node_at(4, 4), 2).unwrap();
         assert!(net.drain(10_000));
         assert_eq!(net.stats.delivered_msgs, 1);
         assert_eq!(net.stats.decision_steps.max, 3, "misroute decision = 3 steps");
@@ -657,7 +705,7 @@ mod tests {
         let mut tf = TrafficSource::new(Pattern::Uniform, 0.2, 4, 11);
         for _ in 0..1_500 {
             for (s, d, l) in tf.tick(topo.as_ref(), net.faults()) {
-                net.send(s, d, l);
+                net.send(s, d, l).unwrap();
             }
             net.step();
         }
@@ -665,6 +713,66 @@ mod tests {
         assert!(!net.stats.deadlock);
         assert!(net.stats.delivered_msgs > 500);
         assert_eq!(net.stats.unroutable_msgs, 0);
+    }
+
+    #[test]
+    fn repair_reset_wave_restores_fault_free_state() {
+        let mesh = Mesh2D::new(5, 5);
+        let topo = Arc::new(mesh.clone());
+        // baseline state words of a never-faulted network (the dead-end
+        // flags are vacuously true on the borders, so "fully reset" means
+        // "identical to fresh", not "all zero")
+        let fresh =
+            Network::builder(topo.clone()).build(&Nafta::new(mesh.clone())).expect("valid config");
+        let baseline: Vec<i64> = mesh.nodes().map(|n| fresh.controller(n).state_word()).collect();
+
+        let mut net =
+            Network::builder(topo.clone()).build(&Nafta::new(mesh.clone())).expect("valid config");
+        net.inject_link_fault(topo.node_at(2, 2), EAST);
+        net.inject_link_fault(topo.node_at(2, 2), NORTH);
+        net.settle_control(10_000).expect("settles");
+        assert_eq!(net.controller(mesh.node_at(2, 2)).state_word() & 1, 1, "deactivated");
+
+        net.repair_link(topo.node_at(2, 2), EAST);
+        net.repair_link(topo.node_at(2, 2), NORTH);
+        net.settle_control(10_000).expect("reset wave settles");
+        let after: Vec<i64> = mesh.nodes().map(|n| net.controller(n).state_word()).collect();
+        assert_eq!(after, baseline, "every node un-learned the repaired faults");
+
+        // and routing is fully minimal again
+        net.set_measuring(true);
+        for a in mesh.nodes() {
+            for b in mesh.nodes() {
+                if a != b {
+                    net.send(a, b, 2).unwrap();
+                }
+            }
+        }
+        assert!(net.drain(200_000));
+        assert_eq!(net.stats.delivered_msgs, 600);
+        assert_eq!(net.stats.excess_hops, 0, "minimal routing restored");
+        assert_eq!(net.stats.decision_steps.max, 1, "fault-free decisions again");
+    }
+
+    #[test]
+    fn partial_repair_keeps_remaining_fault_knowledge() {
+        // faults in columns 2 and 3; repairing column 2's must not erase
+        // what the network knows about column 3's
+        let mesh = Mesh2D::new(5, 3);
+        let topo = Arc::new(mesh.clone());
+        let mut net =
+            Network::builder(topo.clone()).build(&Nafta::new(mesh.clone())).expect("valid config");
+        net.inject_link_fault(topo.node_at(2, 1), NORTH);
+        net.inject_link_fault(topo.node_at(3, 0), NORTH);
+        net.settle_control(10_000).expect("settles");
+        assert_eq!((net.controller(mesh.node_at(2, 0)).state_word() >> 3) & 1, 1);
+        assert_eq!((net.controller(mesh.node_at(3, 1)).state_word() >> 3) & 1, 1);
+
+        net.repair_link(topo.node_at(2, 1), NORTH);
+        net.settle_control(10_000).expect("reset settles");
+        // column 2 clean again, column 3 still known faulty
+        assert_eq!((net.controller(mesh.node_at(2, 0)).state_word() >> 3) & 1, 0);
+        assert_eq!((net.controller(mesh.node_at(3, 1)).state_word() >> 3) & 1, 1);
     }
 
     #[test]
@@ -682,7 +790,7 @@ mod tests {
                 net.inject_node_fault(topo.node_at(1, 4));
             }
             for (s, d, l) in tf.tick(topo.as_ref(), net.faults()) {
-                net.send(s, d, l);
+                net.send(s, d, l).unwrap();
             }
             net.step();
         }

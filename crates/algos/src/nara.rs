@@ -199,7 +199,7 @@ mod tests {
         for a in topo.nodes() {
             for b in topo.nodes() {
                 if a != b {
-                    net.send(a, b, 2);
+                    net.send(a, b, 2).unwrap();
                 }
             }
         }
@@ -217,7 +217,7 @@ mod tests {
         let mut tf = TrafficSource::new(Pattern::Uniform, 0.3, 4, 5);
         for _ in 0..2_000 {
             for (s, d, l) in tf.tick(topo.as_ref(), net.faults()) {
-                net.send(s, d, l);
+                net.send(s, d, l).unwrap();
             }
             net.step();
         }
@@ -254,7 +254,7 @@ mod tests {
         // cut both minimal first hops from the corner for dst (1,1):
         net.inject_link_fault(topo.node_at(0, 0), ftr_topo::EAST);
         net.inject_link_fault(topo.node_at(0, 0), NORTH);
-        net.send(topo.node_at(0, 0), topo.node_at(1, 1), 2);
+        net.send(topo.node_at(0, 0), topo.node_at(1, 1), 2).unwrap();
         net.run(100);
         assert_eq!(net.stats.unroutable_msgs, 1);
     }

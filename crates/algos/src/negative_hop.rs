@@ -199,7 +199,7 @@ mod tests {
         for a in m.nodes() {
             for b in m.nodes() {
                 if a != b {
-                    net.send(a, b, 2);
+                    net.send(a, b, 2).unwrap();
                 }
             }
         }
@@ -235,7 +235,7 @@ mod tests {
         let mut tf = TrafficSource::new(Pattern::Uniform, 0.1, 4, 3);
         for _ in 0..800 {
             for (s, d, l) in tf.tick(&m, net.faults()) {
-                net.send(s, d, l);
+                net.send(s, d, l).unwrap();
             }
             net.step();
         }

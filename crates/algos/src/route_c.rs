@@ -29,6 +29,14 @@ use ftr_sim::routing::{
 };
 use ftr_topo::{Hypercube, NodeId, PortId, Topology, VcId};
 
+/// Reconfiguration wave after a repair: payload `[RC_TAG_RESET, epoch]`.
+/// State announcements are single-word payloads, so the two-word reset
+/// marker can never be mistaken for one. The safety lattice only ever
+/// joins upward, so un-learning a repaired fault requires this explicit
+/// epoch-tagged reset flood: clear remote knowledge, re-derive the local
+/// state from scratch, re-announce.
+const RC_TAG_RESET: i64 = 100;
+
 /// ROUTE_C node safety states, ordered as the update lattice.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub enum SafetyState {
@@ -109,6 +117,7 @@ impl RoutingAlgorithm for RouteC {
             neighbor_state: vec![SafetyState::Safe; dim],
             state: SafetyState::Safe,
             last_announced: None,
+            epoch: 0,
         })
     }
 }
@@ -123,11 +132,14 @@ pub struct RouteCController {
     neighbor_state: Vec<SafetyState>,
     state: SafetyState,
     last_announced: Option<SafetyState>,
+    /// Reconfiguration epoch: bumped by repair-triggered reset waves so
+    /// concurrent/stale waves are absorbed instead of looping forever.
+    epoch: u64,
 }
 
 impl RouteCController {
-    /// Monotone state recomputation; announces on change.
-    fn update_state(&mut self) -> Vec<ControlMsg> {
+    /// The safety state implied by current local knowledge (Table 2).
+    fn compute_state(&self) -> SafetyState {
         let dim = self.cube.dim() as usize;
         let bad = (0..dim)
             .filter(|&d| {
@@ -146,15 +158,45 @@ impl RouteCController {
         if bad >= dim.saturating_sub(1).max(2) {
             computed = computed.max(SafetyState::StrUnsafe);
         }
-        self.state = self.state.max(computed); // lattice join: monotone
+        computed
+    }
+
+    /// Announces the current state to all live neighbours if it changed
+    /// since the last announcement (Safe is the quiet default).
+    fn announce(&mut self) -> Vec<ControlMsg> {
         if self.last_announced == Some(self.state) || self.state == SafetyState::Safe {
             return Vec::new();
         }
         self.last_announced = Some(self.state);
+        let dim = self.cube.dim() as usize;
         (0..dim)
             .filter(|&d| !self.link_dead[d])
             .map(|d| ControlMsg { port: PortId(d as u8), payload: vec![self.state as i64] })
             .collect()
+    }
+
+    /// Monotone state recomputation; announces on change.
+    fn update_state(&mut self) -> Vec<ControlMsg> {
+        self.state = self.state.max(self.compute_state()); // lattice join: monotone
+        self.announce()
+    }
+
+    /// Joins reconfiguration epoch `e`: forgets neighbour states, rebuilds
+    /// the own state from local knowledge only (the one place the lattice
+    /// may move *down*), and floods the reset marker plus a fresh
+    /// announcement.
+    fn start_reset(&mut self, e: u64) -> Vec<ControlMsg> {
+        self.epoch = e;
+        let dim = self.cube.dim() as usize;
+        self.neighbor_state = vec![SafetyState::Safe; dim];
+        self.state = self.compute_state();
+        self.last_announced = None;
+        let mut out: Vec<ControlMsg> = (0..dim)
+            .filter(|&d| !self.link_dead[d])
+            .map(|d| ControlMsg { port: PortId(d as u8), payload: vec![RC_TAG_RESET, e as i64] })
+            .collect();
+        out.extend(self.announce());
+        out
     }
 
     /// Candidate dimensions for the current phase. Returns
@@ -277,12 +319,28 @@ impl NodeController for RouteCController {
         self.update_state()
     }
 
+    fn on_repair(&mut self, _view: &RouterView<'_>, port: PortId) -> Vec<ControlMsg> {
+        self.link_dead[port.idx()] = false;
+        self.start_reset(self.epoch + 1)
+    }
+
     fn on_control(
         &mut self,
         _view: &RouterView<'_>,
         from: PortId,
         payload: &[i64],
     ) -> Vec<ControlMsg> {
+        if payload.len() == 2 && payload[0] == RC_TAG_RESET {
+            let e = payload[1] as u64;
+            if e > self.epoch {
+                // first contact with this wave: clear, re-derive, forward
+                return self.start_reset(e);
+            }
+            // duplicate/stale wave: the sender just forgot our state — make
+            // the next announcement unconditional
+            self.last_announced = None;
+            return self.announce();
+        }
         if payload.len() != 1 {
             return Vec::new();
         }
@@ -333,7 +391,7 @@ mod tests {
         for a in topo.nodes() {
             for b in topo.nodes() {
                 if a != b {
-                    net.send(a, b, 2);
+                    net.send(a, b, 2).unwrap();
                 }
             }
         }
@@ -353,7 +411,7 @@ mod tests {
         for a in topo.nodes() {
             for b in topo.nodes() {
                 if a != b {
-                    net.send(a, b, 2);
+                    net.send(a, b, 2).unwrap();
                 }
             }
         }
@@ -369,7 +427,7 @@ mod tests {
         for a in topo.nodes() {
             for b in topo.nodes() {
                 if a != b && a != NodeId(5) && b != NodeId(5) {
-                    net.send(a, b, 2);
+                    net.send(a, b, 2).unwrap();
                 }
             }
         }
@@ -439,12 +497,68 @@ mod tests {
     }
 
     #[test]
+    fn repair_reset_lowers_safety_states_again() {
+        // two faulty neighbours push node 0 to OrdUnsafe; repairing them
+        // must bring the whole cube back to Safe even though in-epoch
+        // updates only ever join upward
+        let cube = Hypercube::new(4);
+        let topo = Arc::new(cube.clone());
+        let mut net =
+            Network::builder(topo.clone()).build(&RouteC::new(cube)).expect("valid config");
+        net.inject_node_fault(NodeId(1));
+        net.inject_node_fault(NodeId(2));
+        net.settle_control(10_000).expect("settles");
+        assert!(SafetyState::from_i64(net.controller(NodeId(0)).state_word()).is_unsafe());
+
+        net.repair_node(NodeId(1));
+        net.repair_node(NodeId(2));
+        net.settle_control(10_000).expect("reset settles");
+        for n in topo.nodes() {
+            assert_eq!(
+                SafetyState::from_i64(net.controller(n).state_word()),
+                SafetyState::Safe,
+                "node {n} back to safe"
+            );
+        }
+        // and the repaired nodes carry traffic again
+        net.set_measuring(true);
+        for a in topo.nodes() {
+            for b in topo.nodes() {
+                if a != b {
+                    net.send(a, b, 2).unwrap();
+                }
+            }
+        }
+        assert!(net.drain(300_000));
+        assert_eq!(net.stats.delivered_msgs, 240);
+        assert_eq!(net.stats.excess_hops, 0, "minimal routing restored");
+    }
+
+    #[test]
+    fn partial_repair_keeps_remaining_unsafe_knowledge() {
+        let cube = Hypercube::new(4);
+        let topo = Arc::new(cube.clone());
+        let mut net =
+            Network::builder(topo.clone()).build(&RouteC::new(cube)).expect("valid config");
+        net.inject_node_fault(NodeId(1));
+        net.inject_node_fault(NodeId(2));
+        net.settle_control(10_000).expect("settles");
+
+        net.repair_node(NodeId(1));
+        net.settle_control(10_000).expect("reset settles");
+        // node 2 is still dead: its neighbours keep at least LinkFault
+        let s0 = SafetyState::from_i64(net.controller(NodeId(0)).state_word());
+        assert_eq!(s0, SafetyState::LinkFault, "one dead neighbour remains");
+        assert!(!s0.is_unsafe(), "no longer ordinarily unsafe");
+    }
+
+    #[test]
     fn sustained_traffic_with_fault() {
         let (topo, mut net) = cube_net(4, &[9]);
         let mut tf = TrafficSource::new(Pattern::Uniform, 0.2, 4, 31);
         for _ in 0..1_500 {
             for (s, d, l) in tf.tick(topo.as_ref(), net.faults()) {
-                net.send(s, d, l);
+                net.send(s, d, l).unwrap();
             }
             net.step();
         }

@@ -152,7 +152,7 @@ mod tests {
         for a in topo.nodes() {
             for b in topo.nodes() {
                 if a != b {
-                    net.send(a, b, 2);
+                    net.send(a, b, 2).unwrap();
                 }
             }
         }
@@ -170,7 +170,7 @@ mod tests {
         let algo = SpanningTreeRouting::new(mesh);
         let mut net = Network::builder(topo.clone()).build(&algo).expect("valid config");
         net.inject_link_fault(topo.node_at(0, 0), EAST);
-        net.send(topo.node_at(0, 0), topo.node_at(3, 0), 2);
+        net.send(topo.node_at(0, 0), topo.node_at(3, 0), 2).unwrap();
         assert!(net.drain(10_000));
         assert_eq!(net.stats.delivered_msgs, 1);
     }

@@ -16,7 +16,7 @@ fn run_sim(mesh: &Mesh2D, algo: &dyn RoutingAlgorithm, cycles: u64) -> u64 {
     let mut tf = TrafficSource::new(Pattern::Uniform, 0.1, 4, 1);
     for _ in 0..cycles {
         for (s, d, l) in tf.tick(mesh, net.faults()) {
-            net.send(s, d, l);
+            net.send(s, d, l).unwrap();
         }
         net.step();
     }

@@ -43,7 +43,7 @@ fn main() {
         let mut tf = TrafficSource::new(Pattern::Uniform, 0.15, 4, 22);
         for _ in 0..2_000 {
             for (s, d, l) in tf.tick(&mesh, net.faults()) {
-                net.send(s, d, l);
+                net.send(s, d, l).unwrap();
             }
             net.step();
         }

@@ -35,7 +35,7 @@ fn run(policy: &'static str, prioritize: bool) -> Row {
     let mut tf = TrafficSource::new(Pattern::Uniform, 0.12, 4, 55);
     for _ in 0..4_000 {
         for (s, d, l) in tf.tick(&mesh, net.faults()) {
-            net.send(s, d, l);
+            net.send(s, d, l).unwrap();
         }
         net.step();
     }

@@ -48,7 +48,7 @@ fn run<T: Topology + Clone + 'static>(
     let mut tf = TrafficSource::new(Pattern::Uniform, 0.15, 4, 99);
     for _ in 0..1_500 {
         for (s, d, l) in tf.tick(topo, net.faults()) {
-            net.send(s, d, l);
+            net.send(s, d, l).unwrap();
         }
         net.step();
     }

@@ -37,7 +37,7 @@ fn run(mesh: &Mesh2D, algo: &dyn RoutingAlgorithm, faults: &FaultSet) -> Row {
     let mut tf = TrafficSource::new(Pattern::Uniform, 0.12, 4, 77);
     for _ in 0..2_000 {
         for (s, d, l) in tf.tick(mesh, net.faults()) {
-            net.send(s, d, l);
+            net.send(s, d, l).unwrap();
         }
         net.step();
     }

@@ -51,7 +51,7 @@ pub fn measure_load<T: Topology + Clone + 'static>(
 
     for _ in 0..warmup {
         for (s, d, l) in tf.tick(topo, net.faults()) {
-            net.send(s, d, l);
+            net.send(s, d, l).unwrap();
         }
         net.step();
     }
@@ -62,7 +62,7 @@ pub fn measure_load<T: Topology + Clone + 'static>(
             break;
         }
         for (s, d, l) in tf.tick(topo, net.faults()) {
-            net.send(s, d, l);
+            net.send(s, d, l).unwrap();
         }
         net.step();
     }

@@ -324,7 +324,7 @@ mod tests {
         for a in 0..16u32 {
             for b in 0..16u32 {
                 if a != b {
-                    net.send(NodeId(a), NodeId(b), 2);
+                    net.send(NodeId(a), NodeId(b), 2).unwrap();
                 }
             }
         }
@@ -348,7 +348,7 @@ mod tests {
         let mut tf = TrafficSource::new(Pattern::Uniform, 0.1, 4, 9);
         for _ in 0..800 {
             for (s, d, l) in tf.tick(&cube, net.faults()) {
-                net.send(s, d, l);
+                net.send(s, d, l).unwrap();
             }
             net.step();
         }

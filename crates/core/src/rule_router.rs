@@ -218,7 +218,7 @@ mod tests {
         for a in mesh.nodes() {
             for b in mesh.nodes() {
                 if a != b {
-                    net.send(a, b, 2);
+                    net.send(a, b, 2).unwrap();
                 }
             }
         }
@@ -236,8 +236,8 @@ mod tests {
         let mut nn = Network::builder(Arc::new(mesh.clone())).build(&native).expect("valid config");
         let mut rn = rule_net(rules_src::XY, "xy", mesh.clone());
         for (a, b) in [(0u32, 19u32), (3, 16), (7, 12), (18, 1)] {
-            nn.send(NodeId(a), NodeId(b), 3);
-            rn.send(NodeId(a), NodeId(b), 3);
+            nn.send(NodeId(a), NodeId(b), 3).unwrap();
+            rn.send(NodeId(a), NodeId(b), 3).unwrap();
         }
         assert!(nn.drain(10_000) && rn.drain(10_000));
         assert_eq!(nn.stats.hops, rn.stats.hops, "same paths");
@@ -252,7 +252,7 @@ mod tests {
         let mut tf = TrafficSource::new(Pattern::Uniform, 0.2, 4, 17);
         for _ in 0..800 {
             for (s, d, l) in tf.tick(&mesh, net.faults()) {
-                net.send(s, d, l);
+                net.send(s, d, l).unwrap();
             }
             net.step();
         }
@@ -279,7 +279,7 @@ mod tests {
         let algo = RuleRouter::new(cfg, mesh.clone(), 1)
             .with_profiler(probe.clone() as Arc<dyn InterpProbe>);
         let mut net = Network::builder(Arc::new(mesh.clone())).build(&algo).expect("valid config");
-        net.send(mesh.node_at(0, 0), mesh.node_at(3, 0), 2);
+        net.send(mesh.node_at(0, 0), mesh.node_at(3, 0), 2).unwrap();
         assert!(net.drain(5_000));
         // one kernel lookup per interpretation; XY interprets once per
         // routing decision, and the engine re-consults on every Ready
@@ -298,13 +298,13 @@ mod tests {
 
         let mut xy = rule_net(rules_src::XY, "xy", mesh.clone());
         xy.inject_link_fault(mesh.node_at(1, 0), ftr_topo::EAST);
-        xy.send(src, dst, 2);
+        xy.send(src, dst, 2).unwrap();
         xy.run(200);
         assert_eq!(xy.stats.unroutable_msgs, 1, "XY is stuck");
 
         let mut wf = rule_net(rules_src::WEST_FIRST, "west-first", mesh.clone());
         wf.inject_link_fault(mesh.node_at(1, 0), ftr_topo::EAST);
-        wf.send(src, dst, 2);
+        wf.send(src, dst, 2).unwrap();
         assert!(wf.drain(5_000), "west-first detours north around the fault");
         assert_eq!(wf.stats.delivered_msgs, 1);
     }

@@ -106,6 +106,34 @@ pub enum EventKind {
         /// The failed node.
         node: NodeId,
     },
+    /// The link leaving `node` through `port` was repaired and re-armed.
+    LinkRepair {
+        /// Link endpoint.
+        node: NodeId,
+        /// Repaired port.
+        port: PortId,
+    },
+    /// `node` was repaired and rejoined the network.
+    NodeRepair {
+        /// The repaired node.
+        node: NodeId,
+    },
+    /// A killed or unroutable message was re-injected at its source by the
+    /// retry policy.
+    Retry {
+        /// Message id (stable across attempts).
+        msg: u64,
+        /// Attempt number of the re-injection (first retry = 2).
+        attempt: u32,
+    },
+    /// An injection was rejected because an endpoint was faulty at send
+    /// time (a scheduled send racing a dynamic fault).
+    SendRejected {
+        /// Intended source.
+        src: NodeId,
+        /// Intended destination.
+        dst: NodeId,
+    },
     /// A control-plane message was sent over a link (fault/state
     /// propagation traffic).
     ControlSend {
@@ -134,6 +162,10 @@ impl EventKind {
             EventKind::Unroutable { .. } => "unroutable",
             EventKind::LinkFault { .. } => "link_fault",
             EventKind::NodeFault { .. } => "node_fault",
+            EventKind::LinkRepair { .. } => "link_repair",
+            EventKind::NodeRepair { .. } => "node_repair",
+            EventKind::Retry { .. } => "retry",
+            EventKind::SendRejected { .. } => "send_rejected",
             EventKind::ControlSend { .. } => "control_send",
             EventKind::ControlSettled { .. } => "control_settled",
         }
@@ -191,12 +223,20 @@ impl TraceEvent {
             EventKind::Kill { msg } | EventKind::Unroutable { msg } => {
                 o.num("msg", *msg);
             }
-            EventKind::LinkFault { node, port } => {
+            EventKind::LinkFault { node, port } | EventKind::LinkRepair { node, port } => {
                 o.num("node", node.0);
                 o.num("port", port.0);
             }
-            EventKind::NodeFault { node } => {
+            EventKind::NodeFault { node } | EventKind::NodeRepair { node } => {
                 o.num("node", node.0);
+            }
+            EventKind::Retry { msg, attempt } => {
+                o.num("msg", *msg);
+                o.num("attempt", *attempt);
+            }
+            EventKind::SendRejected { src, dst } => {
+                o.num("src", src.0);
+                o.num("dst", dst.0);
             }
             EventKind::ControlSend { from, to } => {
                 o.num("from", from.0);
@@ -243,6 +283,10 @@ mod tests {
             EventKind::Unroutable { msg: 1 },
             EventKind::LinkFault { node: NodeId(1), port: PortId(2) },
             EventKind::NodeFault { node: NodeId(1) },
+            EventKind::LinkRepair { node: NodeId(1), port: PortId(2) },
+            EventKind::NodeRepair { node: NodeId(1) },
+            EventKind::Retry { msg: 1, attempt: 2 },
+            EventKind::SendRejected { src: NodeId(3), dst: NodeId(4) },
             EventKind::ControlSend { from: NodeId(1), to: NodeId(2) },
             EventKind::ControlSettled { cycles: 9 },
         ];

@@ -178,19 +178,51 @@ impl Parser<'_> {
         }
     }
 
+    /// RFC 8259 number grammar: `-?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?`.
+    /// Delegating to `f64::parse` would also accept `.5`, `01`, `1.` and
+    /// `+3`, which JSON forbids.
     fn number(&mut self) -> Result<(), String> {
         let start = self.i;
         if self.peek() == Some(b'-') {
             self.i += 1;
         }
-        while self
-            .peek()
-            .is_some_and(|c| c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
-        {
-            self.i += 1;
+        // int part: a lone 0, or a nonzero digit followed by digits
+        match self.peek() {
+            Some(b'0') => self.i += 1,
+            Some(c) if c.is_ascii_digit() => {
+                while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                    self.i += 1;
+                }
+            }
+            _ => return Err(format!("bad number: missing integer digits at byte {start}")),
         }
-        let txt = std::str::from_utf8(&self.b[start..self.i]).unwrap();
-        txt.parse::<f64>().map(|_| ()).map_err(|e| format!("bad number `{txt}`: {e}"))
+        if self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            return Err(format!("bad number: leading zero at byte {start}"));
+        }
+        // optional fraction: '.' requires at least one digit
+        if self.peek() == Some(b'.') {
+            self.i += 1;
+            if !self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                return Err(format!("bad number: empty fraction at byte {start}"));
+            }
+            while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                self.i += 1;
+            }
+        }
+        // optional exponent: e/E, optional sign, at least one digit
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.i += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.i += 1;
+            }
+            if !self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                return Err(format!("bad number: empty exponent at byte {start}"));
+            }
+            while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                self.i += 1;
+            }
+        }
+        Ok(())
     }
 
     fn string(&mut self) -> Result<(), String> {
@@ -295,6 +327,19 @@ mod tests {
         assert!(validate("[1,2,]").is_err());
         assert!(validate("123 45").is_err());
         assert!(validate(r#"{"a":1}"#).is_ok());
+    }
+
+    #[test]
+    fn validator_enforces_rfc8259_numbers() {
+        // f64::parse accepts all of these; the JSON grammar does not
+        for bad in [".5", "01", "1.", "+3", "1e", "1e+", "-", "-.5", "00", "0x1", "1.e3"] {
+            assert!(validate(bad).is_err(), "`{bad}` must be rejected");
+        }
+        for good in ["0", "-0", "5", "-0.5", "0.25", "1e3", "1E-2", "-12.5e+10", "120"] {
+            assert!(validate(good).is_ok(), "`{good}` must be accepted");
+        }
+        assert!(validate(r#"[0.5,1e9,{"a":-3.25E-4}]"#).is_ok());
+        assert!(validate(r#"{"a":.5}"#).is_err());
     }
 
     #[test]

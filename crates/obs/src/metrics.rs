@@ -63,7 +63,8 @@ impl HistSnapshot {
     }
 
     /// Upper bound of the bucket containing the `q` quantile (0 ≤ q ≤ 1),
-    /// estimated from the log₂ buckets.
+    /// estimated from the log₂ buckets and clamped to the observed maximum
+    /// (a single observation of 5 must not report a p99 bound of 6).
     pub fn quantile_bound(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
@@ -73,7 +74,9 @@ impl HistSnapshot {
         for (i, b) in self.buckets.iter().enumerate() {
             seen += b;
             if seen >= target.max(1) {
-                return (1u64 << (i + 1)) - 2; // inclusive upper edge of bucket i
+                // inclusive upper edge of bucket i, clamped to the true max
+                let edge = 1u64.checked_shl(i as u32 + 1).map_or(u64::MAX, |e| e - 2);
+                return edge.min(self.max);
             }
         }
         self.max
@@ -107,8 +110,9 @@ impl Histogram {
             h.max = h.max.max(v);
         }
         h.count += 1;
-        h.sum += v;
-        let b = (64 - (v + 1).leading_zeros() as usize - 1).min(BUCKETS - 1);
+        h.sum = h.sum.saturating_add(v);
+        // saturating: v == u64::MAX must land in the top bucket, not overflow
+        let b = (64 - v.saturating_add(1).leading_zeros() as usize - 1).min(BUCKETS - 1);
         h.buckets[b] += 1;
     }
 
@@ -245,6 +249,30 @@ mod tests {
         assert_eq!(s.buckets.iter().sum::<u64>(), 6);
         assert!(s.quantile_bound(0.5) >= 2);
         assert!(s.quantile_bound(1.0) >= 100 || s.quantile_bound(1.0) == s.max);
+    }
+
+    #[test]
+    fn observe_u64_max_does_not_overflow() {
+        let h = Histogram::default();
+        h.observe(u64::MAX);
+        h.observe(u64::MAX);
+        let s = h.snapshot();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.max, u64::MAX);
+        assert_eq!(s.buckets[BUCKETS - 1], 2, "extreme values land in the top bucket");
+        assert_eq!(s.quantile_bound(0.99), u64::MAX);
+    }
+
+    #[test]
+    fn quantile_bound_clamps_to_observed_max() {
+        let h = Histogram::default();
+        h.observe(5);
+        let s = h.snapshot();
+        // bucket edge for 5 is 6; the true maximum is 5
+        assert_eq!(s.quantile_bound(0.99), 5);
+        h.observe(0);
+        let s = h.snapshot();
+        assert_eq!(s.quantile_bound(0.25), 0, "low quantile hits bucket 0");
     }
 
     #[test]

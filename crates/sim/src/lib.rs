@@ -49,7 +49,7 @@
 //! let mut net = Network::builder(topo.clone())
 //!     .build(&Xy((*topo).clone()))
 //!     .expect("valid configuration");
-//! net.send(NodeId(0), NodeId(15), 4);
+//! net.send(NodeId(0), NodeId(15), 4).expect("endpoints alive");
 //! assert!(net.drain(1_000));
 //! assert_eq!(net.stats.delivered_msgs, 1);
 //! ```
@@ -59,6 +59,7 @@
 
 pub mod flit;
 pub mod network;
+pub mod plan;
 pub mod router;
 pub mod routing;
 pub mod stats;
@@ -66,7 +67,8 @@ pub mod sweep;
 pub mod traffic;
 
 pub use flit::{Flit, FlitKind, Header, MessageId};
-pub use network::{BuildError, Network, NetworkBuilder, SimConfig};
+pub use network::{BuildError, Network, NetworkBuilder, RetryPolicy, SendError, SimConfig};
+pub use plan::{FaultAction, FaultPlan, PlannedAction};
 pub use routing::{ControlMsg, Decision, NodeController, RouterView, RoutingAlgorithm, Verdict};
 pub use stats::{Accum, SimStats};
 pub use sweep::run_sweep;

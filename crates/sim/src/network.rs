@@ -11,6 +11,7 @@
 #![allow(clippy::needless_range_loop)] // index loops mirror the hardware structure
 
 use crate::flit::{Flit, FlitKind, Header, MessageId};
+use crate::plan::{FaultAction, FaultPlan};
 use crate::router::{DecisionPhase, RouteState, RouterNode};
 use crate::routing::{ControlMsg, NodeController, RouterView, RoutingAlgorithm, Verdict};
 use crate::stats::{MsgMeta, SimStats};
@@ -56,6 +57,55 @@ struct ControlDelivery {
     payload: Vec<i64>,
 }
 
+/// Why [`Network::send`] rejected an injection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SendError {
+    /// The source node is faulty.
+    FaultySource,
+    /// The destination node is faulty (assumption iii: no messages to
+    /// faulty destinations).
+    FaultyDestination,
+    /// `src == dst` — self-messages never enter the network.
+    SelfMessage,
+}
+
+impl std::fmt::Display for SendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SendError::FaultySource => write!(f, "source node is faulty"),
+            SendError::FaultyDestination => write!(f, "destination node is faulty"),
+            SendError::SelfMessage => write!(f, "self-messages never enter the network"),
+        }
+    }
+}
+
+impl std::error::Error for SendError {}
+
+/// Source-retransmission policy: killed or unroutable messages are
+/// re-injected at their source after a backoff, up to an attempt budget —
+/// the end-to-end recovery protocol §2.1 assumes above the router.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total injection attempts allowed per message (1 = no retries).
+    pub max_attempts: u32,
+    /// Cycles between a worm being ripped and its re-injection.
+    pub backoff_cycles: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { max_attempts: 4, backoff_cycles: 32 }
+    }
+}
+
+/// A killed message waiting out its retry backoff.
+struct RetryEntry {
+    due: u64,
+    id: MessageId,
+    /// Final-termination cause if the retry is abandoned.
+    unroutable: bool,
+}
+
 /// Validation failures of [`NetworkBuilder::build`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum BuildError {
@@ -92,6 +142,9 @@ struct SimMetrics {
     delivered: Counter,
     killed: Counter,
     unroutable: Counter,
+    retried: Counter,
+    abandoned: Counter,
+    rejected_sends: Counter,
     control_msgs: Counter,
     latency: Histogram,
     hops: Histogram,
@@ -107,6 +160,9 @@ impl SimMetrics {
             delivered: registry.counter("sim.delivered"),
             killed: registry.counter("sim.killed"),
             unroutable: registry.counter("sim.unroutable"),
+            retried: registry.counter("sim.retried"),
+            abandoned: registry.counter("sim.abandoned"),
+            rejected_sends: registry.counter("sim.rejected_sends"),
             control_msgs: registry.counter("sim.control_msgs"),
             latency: registry.histogram("sim.latency"),
             hops: registry.histogram("sim.hops"),
@@ -158,12 +214,21 @@ pub struct NetworkBuilder {
     cfg: SimConfig,
     sink: Option<Arc<dyn TraceSink>>,
     metrics: Option<Arc<MetricsRegistry>>,
+    retry: Option<RetryPolicy>,
+    plan: Option<FaultPlan>,
 }
 
 impl NetworkBuilder {
     /// Starts a builder over `topo` with the default [`SimConfig`].
     pub fn new(topo: Arc<dyn Topology>) -> Self {
-        NetworkBuilder { topo, cfg: SimConfig::default(), sink: None, metrics: None }
+        NetworkBuilder {
+            topo,
+            cfg: SimConfig::default(),
+            sink: None,
+            metrics: None,
+            retry: None,
+            plan: None,
+        }
     }
 
     /// Replaces the whole engine configuration at once.
@@ -211,6 +276,18 @@ impl NetworkBuilder {
         self
     }
 
+    /// Enables source retransmission of killed/unroutable messages.
+    pub fn retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = Some(policy);
+        self
+    }
+
+    /// Attaches a scripted fault plan the network executes cycle by cycle.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.plan = Some(plan);
+        self
+    }
+
     /// Validates the configuration and builds the network running `algo`
     /// on every node.
     pub fn build(self, algo: &dyn RoutingAlgorithm) -> Result<Network, BuildError> {
@@ -248,6 +325,9 @@ impl NetworkBuilder {
             stats,
             sink: self.sink,
             metrics: self.metrics.map(SimMetrics::new),
+            retry: self.retry,
+            retries: VecDeque::new(),
+            plan: self.plan,
         })
     }
 }
@@ -269,6 +349,9 @@ pub struct Network {
     pub stats: SimStats,
     sink: Option<Arc<dyn TraceSink>>,
     metrics: Option<SimMetrics>,
+    retry: Option<RetryPolicy>,
+    retries: VecDeque<RetryEntry>,
+    plan: Option<FaultPlan>,
 }
 
 impl Network {
@@ -328,14 +411,39 @@ impl Network {
         self.stats.measured_cycles += c;
     }
 
-    /// Injects a message at `src` for `dst`. Panics if the destination or
-    /// source is faulty (assumption iii: no messages to faulty nodes).
-    pub fn send(&mut self, src: NodeId, dst: NodeId, len_flits: u32) -> MessageId {
-        assert!(
-            !self.faults.node_faulty(src) && !self.faults.node_faulty(dst),
-            "messages may not involve faulty nodes (assumption iii)"
-        );
-        assert_ne!(src, dst, "self-messages never enter the network");
+    /// Injects a message at `src` for `dst`.
+    ///
+    /// An injection involving a faulty endpoint — a scheduled send racing a
+    /// dynamic fault — is rejected with a [`SendError`] and counted in
+    /// [`SimStats::rejected_sends`] instead of aborting the run (assumption
+    /// iii: no messages to faulty nodes). Self-messages are a programming
+    /// error and additionally panic in debug builds.
+    pub fn send(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        len_flits: u32,
+    ) -> Result<MessageId, SendError> {
+        if src == dst {
+            debug_assert!(src != dst, "self-messages never enter the network");
+            self.stats.rejected_sends += 1;
+            return Err(SendError::SelfMessage);
+        }
+        let err = if self.faults.node_faulty(src) {
+            Some(SendError::FaultySource)
+        } else if self.faults.node_faulty(dst) {
+            Some(SendError::FaultyDestination)
+        } else {
+            None
+        };
+        if let Some(e) = err {
+            self.stats.rejected_sends += 1;
+            self.emit(|| EventKind::SendRejected { src, dst });
+            if let Some(m) = &self.metrics {
+                m.rejected_sends.inc();
+            }
+            return Err(e);
+        }
         let id = MessageId(self.next_msg);
         self.next_msg += 1;
         let header = Header::new(id, src, dst, len_flits);
@@ -343,10 +451,13 @@ impl Network {
             id,
             MsgMeta {
                 inject_cycle: self.cycle,
+                src,
+                dst,
                 len_flits: len_flits.max(1),
                 measured: self.measuring,
                 hops: 0,
                 min_dist: self.topo.min_distance(src, dst),
+                attempts: 1,
             },
         );
         self.emit(|| EventKind::Inject { msg: id.0, src, dst, len_flits });
@@ -354,7 +465,24 @@ impl Network {
             m.injected.inc();
         }
         self.nodes[src.idx()].staging.extend(Flit::sequence(header));
-        id
+        Ok(id)
+    }
+
+    /// Attaches (or replaces) a scripted fault plan mid-run; actions whose
+    /// cycle already passed fire on the next step.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.plan = Some(plan);
+    }
+
+    /// Enables, replaces or (with `None`) disables source retransmission.
+    /// Messages already waiting out a backoff keep their schedule.
+    pub fn set_retry_policy(&mut self, policy: Option<RetryPolicy>) {
+        self.retry = policy;
+    }
+
+    /// The active retry policy, if any.
+    pub fn retry_policy(&self) -> Option<RetryPolicy> {
+        self.retry
     }
 
     /// Messages in flight (injected, not yet terminated).
@@ -476,6 +604,60 @@ impl Network {
             }
             let _ = p;
         }
+    }
+
+    /// Repairs the link leaving `n` through `p`: re-arms it in the fault
+    /// set, emits a [`EventKind::LinkRepair`] and — when the link is
+    /// actually usable again (both endpoints alive) — notifies both
+    /// endpoint controllers through [`NodeController::on_repair`] so they
+    /// can un-learn their monotone fault knowledge. No-op for unconnected
+    /// ports and healthy links.
+    pub fn repair_link(&mut self, n: NodeId, p: PortId) {
+        let Some(m) = self.topo.neighbor(n, p) else { return };
+        if !self.faults.link_faulty(self.topo.as_ref(), n, p) {
+            return;
+        }
+        let Some(l) = self.topo.link(n, p) else { return };
+        self.faults.repair_link(l);
+        self.emit(|| EventKind::LinkRepair { node: n, port: p });
+        if self.faults.link_usable(self.topo.as_ref(), n, p) {
+            let q = self.topo.port_towards(m, n).expect("reverse port");
+            self.notify_repair(n, p);
+            self.notify_repair(m, q);
+        }
+    }
+
+    /// Repairs node `n`: re-arms it with a fresh (rebooted) router and
+    /// notifies its controller and every alive neighbour on each incident
+    /// healthy link. The repaired node's controller keeps its accumulated
+    /// state — algorithms reset it in [`NodeController::on_repair`].
+    pub fn repair_node(&mut self, n: NodeId) {
+        if !self.faults.node_faulty(n) {
+            return;
+        }
+        self.faults.repair_node(n);
+        self.emit(|| EventKind::NodeRepair { node: n });
+        // the router hardware comes back empty: fresh buffers, credits and
+        // allocation state (everything it held was killed at fault time)
+        self.nodes[n.idx()] = RouterNode::new(self.topo.degree(), self.vcs, self.cfg.buffer_depth);
+        self.recompute_credits_and_loads();
+        for (p, nb) in self.topo.neighbors(n) {
+            if self.faults.link_usable(self.topo.as_ref(), n, p) {
+                let q = self.topo.port_towards(nb, n).expect("reverse");
+                self.notify_repair(n, p);
+                self.notify_repair(nb, q);
+            }
+        }
+    }
+
+    fn notify_repair(&mut self, node: NodeId, port: PortId) {
+        if self.faults.node_faulty(node) {
+            return;
+        }
+        let view_data = self.view_data(node);
+        let view = view_data.view(node, self.cycle);
+        let msgs = self.ctrls[node.idx()].on_repair(&view, port);
+        self.enqueue_control(node, msgs);
     }
 
     /// Applies a whole static fault set (links then nodes), triggering the
@@ -607,12 +789,35 @@ impl Network {
             }
         }
         for &id in ids {
+            // retry policy: the ripped worm stays logically in flight (same
+            // id, same first-attempt inject cycle) and re-enters at its
+            // source after the backoff, as long as attempts remain
+            let retryable = match (&self.retry, self.stats.meta(id)) {
+                (Some(rp), Some(meta)) => meta.attempts < rp.max_attempts,
+                _ => false,
+            };
+            if retryable {
+                let backoff = self.retry.expect("checked").backoff_cycles.max(1);
+                self.retries.push_back(RetryEntry { due: self.cycle + backoff, id, unroutable });
+            }
             if unroutable {
-                self.stats.on_unroutable(id);
                 self.emit(|| EventKind::Unroutable { msg: id.0 });
             } else {
-                self.stats.on_kill(id);
                 self.emit(|| EventKind::Kill { msg: id.0 });
+            }
+            if retryable {
+                continue;
+            }
+            if unroutable {
+                self.stats.on_unroutable(id);
+            } else {
+                self.stats.on_kill(id);
+            }
+            if self.retry.is_some() {
+                self.stats.abandoned_msgs += 1;
+                if let Some(m) = &self.metrics {
+                    m.abandoned.inc();
+                }
             }
             if let Some(m) = &self.metrics {
                 if unroutable {
@@ -623,6 +828,56 @@ impl Network {
             }
         }
         self.recompute_credits_and_loads();
+    }
+
+    /// Executes fault-plan actions due at the current cycle.
+    fn run_plan(&mut self) {
+        let Some(plan) = &mut self.plan else { return };
+        let due: Vec<_> = plan.pop_due(self.cycle).to_vec();
+        for pa in due {
+            match pa.action {
+                FaultAction::FailLink(n, p) => self.inject_link_fault(n, p),
+                FaultAction::RepairLink(n, p) => self.repair_link(n, p),
+                FaultAction::FailNode(n) => self.inject_node_fault(n),
+                FaultAction::RepairNode(n) => self.repair_node(n),
+            }
+        }
+    }
+
+    /// Re-injects messages whose retry backoff elapsed; abandons them when
+    /// an endpoint is (still) faulty — end-to-end retransmission cannot
+    /// proceed without both endpoints, and waiting indefinitely would stall
+    /// the drain loop.
+    fn run_retries(&mut self) {
+        while self.retries.front().is_some_and(|r| r.due <= self.cycle) {
+            let r = self.retries.pop_front().expect("checked");
+            let Some(meta) = self.stats.meta(r.id).copied() else { continue };
+            if self.faults.node_faulty(meta.src) || self.faults.node_faulty(meta.dst) {
+                if r.unroutable {
+                    self.stats.on_unroutable(r.id);
+                } else {
+                    self.stats.on_kill(r.id);
+                }
+                self.stats.abandoned_msgs += 1;
+                if let Some(m) = &self.metrics {
+                    m.abandoned.inc();
+                    if r.unroutable {
+                        m.unroutable.inc();
+                    } else {
+                        m.killed.inc();
+                    }
+                }
+                continue;
+            }
+            self.stats.on_retry(r.id);
+            let attempt = meta.attempts + 1;
+            self.emit(|| EventKind::Retry { msg: r.id.0, attempt });
+            if let Some(m) = &self.metrics {
+                m.retried.inc();
+            }
+            let header = Header::new(r.id, meta.src, meta.dst, meta.len_flits);
+            self.nodes[meta.src.idx()].staging.extend(Flit::sequence(header));
+        }
     }
 
     /// Rebuilds credit counters and adaptivity loads from buffer occupancy
@@ -689,6 +944,10 @@ impl Network {
         let topo = Arc::clone(&self.topo);
         let degree = topo.degree();
         let mut moved = false;
+
+        // 0. scripted fault-plan actions and due retry re-injections
+        self.run_plan();
+        self.run_retries();
 
         // periodic buffer-occupancy sampling (only when metrics attached)
         if let Some(m) = &self.metrics {
@@ -881,10 +1140,12 @@ impl Network {
             c.credits = (c.credits + 1).min(self.cfg.buffer_depth);
         }
 
-        // 6. watchdog
+        // 6. watchdog (messages waiting out a retry backoff are in flight
+        // but legitimately motionless — not a deadlock)
         if moved {
             self.last_move = self.cycle;
-        } else if self.in_flight() > 0 && self.cycle - self.last_move >= self.cfg.deadlock_threshold
+        } else if self.in_flight() > self.retries.len()
+            && self.cycle - self.last_move >= self.cfg.deadlock_threshold
         {
             self.stats.deadlock = true;
         }
@@ -1267,7 +1528,7 @@ mod tests {
             .build(&algo)
             .expect("valid config");
         net.set_measuring(true);
-        let id = net.send(topo.node_at(0, 0), topo.node_at(2, 1), 4);
+        let id = net.send(topo.node_at(0, 0), topo.node_at(2, 1), 4).unwrap();
         assert!(net.drain(1_000));
 
         let events = sink.events();
@@ -1307,7 +1568,7 @@ mod tests {
         let (topo, mut net) = mesh_net(4, 1, SimConfig::default());
         assert!(net.trace_sink().is_none());
         assert!(net.metrics_registry().is_none());
-        net.send(topo.node_at(0, 0), topo.node_at(3, 3), 4);
+        net.send(topo.node_at(0, 0), topo.node_at(3, 3), 4).unwrap();
         assert!(net.drain(1_000));
         assert_eq!(net.stats.delivered_msgs, 1);
         assert!(net.stats.accounting_balanced());
@@ -1317,7 +1578,7 @@ mod tests {
     fn single_message_latency_is_sane() {
         let (topo, mut net) = mesh_net(4, 1, SimConfig::default());
         net.set_measuring(true);
-        net.send(topo.node_at(0, 0), topo.node_at(3, 3), 4);
+        net.send(topo.node_at(0, 0), topo.node_at(3, 3), 4).unwrap();
         assert!(net.drain(1_000));
         assert_eq!(net.stats.delivered_msgs, 1);
         assert_eq!(net.stats.hops.max, 6, "XY path is 6 hops");
@@ -1332,7 +1593,7 @@ mod tests {
         for steps in [1, 3] {
             let (topo, mut net) = mesh_net(4, steps, SimConfig::default());
             net.set_measuring(true);
-            net.send(topo.node_at(0, 0), topo.node_at(3, 3), 4);
+            net.send(topo.node_at(0, 0), topo.node_at(3, 3), 4).unwrap();
             assert!(net.drain(2_000));
             lat.push(net.stats.latency.mean());
         }
@@ -1347,7 +1608,7 @@ mod tests {
         let mut tf = TrafficSource::new(Pattern::Uniform, 0.1, 4, 42);
         for _ in 0..500 {
             for (s, d, l) in tf.tick(topo.as_ref(), net.faults()) {
-                net.send(s, d, l);
+                net.send(s, d, l).unwrap();
             }
             net.step();
         }
@@ -1364,7 +1625,7 @@ mod tests {
         let (topo, mut net) = mesh_net(4, 1, cfg);
         net.set_measuring(true);
         for y in 0..4 {
-            net.send(topo.node_at(0, y), topo.node_at(3, y), 16);
+            net.send(topo.node_at(0, y), topo.node_at(3, y), 16).unwrap();
         }
         assert!(net.drain(5_000));
         assert_eq!(net.stats.delivered_msgs, 4);
@@ -1379,10 +1640,10 @@ mod tests {
         let cfg = SimConfig { buffer_depth: 1, deadlock_threshold: 200, ..Default::default() };
         let mut net = Network::builder(topo.clone()).config(cfg).build(&algo).expect("valid");
         // four corner-to-corner messages forming a cycle of turns
-        net.send(topo.node_at(0, 0), topo.node_at(2, 2), 32);
-        net.send(topo.node_at(2, 0), topo.node_at(0, 2), 32);
-        net.send(topo.node_at(2, 2), topo.node_at(0, 0), 32);
-        net.send(topo.node_at(0, 2), topo.node_at(2, 0), 32);
+        net.send(topo.node_at(0, 0), topo.node_at(2, 2), 32).unwrap();
+        net.send(topo.node_at(2, 0), topo.node_at(0, 2), 32).unwrap();
+        net.send(topo.node_at(2, 2), topo.node_at(0, 0), 32).unwrap();
+        net.send(topo.node_at(0, 2), topo.node_at(2, 0), 32).unwrap();
         let drained = net.drain(6_000);
         // either the schedule dodged the deadlock (possible) or the
         // watchdog fired; with these parameters the cycle forms reliably
@@ -1390,10 +1651,10 @@ mod tests {
         // the XY router under identical load must NOT deadlock
         let algo2 = Xy { mesh: (*topo).clone(), steps: 1 };
         let mut net2 = Network::builder(topo.clone()).config(cfg).build(&algo2).expect("valid");
-        net2.send(topo.node_at(0, 0), topo.node_at(2, 2), 32);
-        net2.send(topo.node_at(2, 0), topo.node_at(0, 2), 32);
-        net2.send(topo.node_at(2, 2), topo.node_at(0, 0), 32);
-        net2.send(topo.node_at(0, 2), topo.node_at(2, 0), 32);
+        net2.send(topo.node_at(0, 0), topo.node_at(2, 2), 32).unwrap();
+        net2.send(topo.node_at(2, 0), topo.node_at(0, 2), 32).unwrap();
+        net2.send(topo.node_at(2, 2), topo.node_at(0, 0), 32).unwrap();
+        net2.send(topo.node_at(0, 2), topo.node_at(2, 0), 32).unwrap();
         assert!(net2.drain(6_000), "XY must not deadlock");
         assert!(!net2.stats.deadlock);
     }
@@ -1411,7 +1672,7 @@ mod tests {
         let (topo, mut net) = mesh_net(4, 1, SimConfig::default());
         let src = topo.node_at(0, 1);
         let dst = topo.node_at(3, 1);
-        net.send(src, dst, 24); // long worm across the row
+        net.send(src, dst, 24).unwrap(); // long worm across the row
         net.run(8); // head is past (1,1)-(2,1), tail still at source
         net.inject_link_fault(topo.node_at(1, 1), EAST);
         assert_eq!(net.stats.killed_msgs, 1, "worm spanned the failed link");
@@ -1422,8 +1683,8 @@ mod tests {
     #[test]
     fn node_fault_kills_transiting_and_destined_messages() {
         let (topo, mut net) = mesh_net(4, 1, SimConfig::default());
-        net.send(topo.node_at(0, 1), topo.node_at(3, 1), 24); // transits (2,1)
-        net.send(topo.node_at(2, 0), topo.node_at(2, 1), 8); // destined there
+        net.send(topo.node_at(0, 1), topo.node_at(3, 1), 24).unwrap(); // transits (2,1)
+        net.send(topo.node_at(2, 0), topo.node_at(2, 1), 8).unwrap(); // destined there
         net.run(6);
         net.inject_node_fault(topo.node_at(2, 1));
         assert_eq!(net.stats.killed_msgs, 2);
@@ -1458,7 +1719,7 @@ mod tests {
         }
         let topo = Arc::new(Mesh2D::new(3, 3));
         let mut net = Network::builder(topo.clone()).build(&Refuse).expect("valid");
-        net.send(topo.node_at(0, 0), topo.node_at(2, 2), 4);
+        net.send(topo.node_at(0, 0), topo.node_at(2, 2), 4).unwrap();
         net.run(10);
         assert_eq!(net.stats.unroutable_msgs, 1);
         assert_eq!(net.in_flight(), 0);
@@ -1467,7 +1728,7 @@ mod tests {
     #[test]
     fn decision_steps_are_recorded() {
         let (topo, mut net) = mesh_net(4, 3, SimConfig::default());
-        net.send(topo.node_at(0, 0), topo.node_at(2, 0), 2);
+        net.send(topo.node_at(0, 0), topo.node_at(2, 0), 2).unwrap();
         assert!(net.drain(1_000));
         // 3 routing decisions (source + 2 intermediate? source + node(1,0));
         // destination ejects without a decision (recorded as 0 steps)

@@ -119,6 +119,16 @@ pub trait NodeController: Send {
         Vec::new()
     }
 
+    /// The link behind `port` (or the neighbour node) was repaired and is
+    /// usable again. Algorithms whose fault knowledge accumulates
+    /// monotonically must un-learn here (typically by resetting derived
+    /// state and starting a reconfiguration wave). Default: no-op, which is
+    /// correct only for algorithms that keep no fault state.
+    fn on_repair(&mut self, view: &RouterView<'_>, port: PortId) -> Vec<ControlMsg> {
+        let _ = (view, port);
+        Vec::new()
+    }
+
     /// Diagnostic snapshot of the controller's fault knowledge (used by
     /// settling-time experiments); algorithm-defined encoding.
     fn state_word(&self) -> i64 {

@@ -1,14 +1,21 @@
 //! Simulation statistics: latency, throughput, routing-decision overhead.
 
 use crate::flit::MessageId;
+use ftr_topo::NodeId;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Per-message bookkeeping.
 #[derive(Clone, Copy, Debug)]
 pub struct MsgMeta {
-    /// Cycle the message was handed to the source node.
+    /// Cycle the message was handed to the source node (the *first*
+    /// attempt when the retry policy re-injects — end-to-end latency spans
+    /// all attempts).
     pub inject_cycle: u64,
+    /// Source node (needed to re-inject on retry).
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
     /// Length in flits.
     pub len_flits: u32,
     /// Whether it belongs to the measurement window.
@@ -17,6 +24,8 @@ pub struct MsgMeta {
     pub hops: u32,
     /// Minimal distance in the fault-free topology (dilation baseline).
     pub min_dist: u32,
+    /// Injection attempts so far (1 = original injection).
+    pub attempts: u32,
 }
 
 /// Online mean/min/max accumulator.
@@ -71,6 +80,16 @@ pub struct SimStats {
     pub killed_msgs: u64,
     /// Messages the algorithm declared unroutable (condition-3 violations).
     pub unroutable_msgs: u64,
+    /// Re-injections performed by the retry policy (attempt-level count; a
+    /// message retried twice contributes 2).
+    pub retried_msgs: u64,
+    /// Messages the retry policy gave up on (attempts exhausted or an
+    /// endpoint dead at retry time). Every abandoned message is also
+    /// counted in `killed_msgs`/`unroutable_msgs` by its final cause.
+    pub abandoned_msgs: u64,
+    /// Injections rejected at `send` because an endpoint was faulty (never
+    /// entered the network; excluded from `injected_msgs`).
+    pub rejected_sends: u64,
     /// Latency of measured messages (inject → tail ejected), cycles.
     pub latency: Accum,
     /// Hops of measured messages.
@@ -143,6 +162,21 @@ impl SimStats {
     pub fn on_kill(&mut self, id: MessageId) {
         self.killed_msgs += 1;
         self.meta.remove(&id);
+    }
+
+    /// Registers a retry re-injection: the message stays in flight (same
+    /// id, same first-attempt `inject_cycle`) with one more attempt on its
+    /// ledger.
+    pub fn on_retry(&mut self, id: MessageId) {
+        self.retried_msgs += 1;
+        if let Some(m) = self.meta.get_mut(&id) {
+            m.attempts += 1;
+        }
+    }
+
+    /// Bookkeeping of an in-flight message (None once terminated).
+    pub fn meta(&self, id: MessageId) -> Option<&MsgMeta> {
+        self.meta.get(&id)
     }
 
     /// Registers an unroutable message.
@@ -230,7 +264,16 @@ mod tests {
     #[test]
     fn lifecycle_accounting() {
         let mut s = SimStats { num_nodes: 4, measured_cycles: 100, ..Default::default() };
-        let meta = MsgMeta { inject_cycle: 5, len_flits: 4, measured: true, hops: 0, min_dist: 2 };
+        let meta = MsgMeta {
+            inject_cycle: 5,
+            src: NodeId(0),
+            dst: NodeId(3),
+            len_flits: 4,
+            measured: true,
+            hops: 0,
+            min_dist: 2,
+            attempts: 1,
+        };
         s.on_inject(MessageId(1), meta);
         s.on_inject(MessageId(2), meta);
         s.on_inject(MessageId(3), meta);
@@ -249,7 +292,16 @@ mod tests {
     #[test]
     fn accounting_invariant_holds_through_lifecycle() {
         let mut s = SimStats::default();
-        let meta = MsgMeta { inject_cycle: 0, len_flits: 1, measured: false, hops: 0, min_dist: 1 };
+        let meta = MsgMeta {
+            inject_cycle: 0,
+            src: NodeId(0),
+            dst: NodeId(1),
+            len_flits: 1,
+            measured: false,
+            hops: 0,
+            min_dist: 1,
+            attempts: 1,
+        };
         assert!(s.accounting_balanced(), "empty stats balance");
         for i in 0..4 {
             s.on_inject(MessageId(i), meta);
@@ -273,11 +325,50 @@ mod tests {
         let mut s = SimStats::default();
         s.on_inject(
             MessageId(9),
-            MsgMeta { inject_cycle: 0, len_flits: 4, measured: false, hops: 0, min_dist: 1 },
+            MsgMeta {
+                inject_cycle: 0,
+                src: NodeId(0),
+                dst: NodeId(1),
+                len_flits: 4,
+                measured: false,
+                hops: 0,
+                min_dist: 1,
+                attempts: 1,
+            },
         );
         s.on_deliver(MessageId(9), 50);
         assert_eq!(s.delivered_msgs, 1);
         assert_eq!(s.measured_delivered, 0);
         assert_eq!(s.latency.count, 0);
+    }
+
+    #[test]
+    fn retry_keeps_message_in_flight_and_latency_spans_attempts() {
+        let mut s = SimStats::default();
+        s.on_inject(
+            MessageId(1),
+            MsgMeta {
+                inject_cycle: 10,
+                src: NodeId(0),
+                dst: NodeId(5),
+                len_flits: 4,
+                measured: true,
+                hops: 0,
+                min_dist: 2,
+                attempts: 1,
+            },
+        );
+        // worm ripped, retry scheduled: no termination, accounting still balanced
+        s.on_retry(MessageId(1));
+        assert!(s.accounting_balanced());
+        assert_eq!(s.retried_msgs, 1);
+        assert_eq!(s.meta(MessageId(1)).unwrap().attempts, 2);
+        assert_eq!(s.in_flight(), 1);
+        // delivered on the second attempt: latency runs from the FIRST inject
+        s.on_head_arrival(MessageId(1), 2);
+        s.on_deliver(MessageId(1), 110);
+        assert_eq!(s.latency.mean(), 100.0);
+        assert!(s.accounting_balanced());
+        assert_eq!(s.delivery_ratio(), 1.0);
     }
 }

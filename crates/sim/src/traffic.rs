@@ -66,7 +66,16 @@ impl Pattern {
                         return Some(d);
                     }
                 }
-                None
+                // rejection sampling starves on a mostly-faulty network,
+                // silently under-injecting offered load; fall back to an
+                // exhaustive scan so every alive destination stays reachable
+                let alive: Vec<NodeId> =
+                    topo.nodes().filter(|&d| d != src && !faults.node_faulty(d)).collect();
+                if alive.is_empty() {
+                    None
+                } else {
+                    Some(alive[rng.gen_range(0..alive.len())])
+                }
             }
             Pattern::Transpose { side } => {
                 let (x, y) = (src.0 % side, src.0 / side);
@@ -140,6 +149,26 @@ mod tests {
             assert_ne!(d, NodeId(3));
             assert_ne!(d, NodeId(5));
         }
+    }
+
+    #[test]
+    fn uniform_finds_last_alive_node_on_mostly_faulty_network() {
+        // one alive destination among 64 nodes: rejection sampling (64
+        // draws at 1/64 hit rate) misses it regularly; the scan never does
+        let m = Mesh2D::new(8, 8);
+        let mut f = FaultSet::new();
+        for d in m.nodes() {
+            if d != NodeId(3) && d != NodeId(60) {
+                f.fail_node(d);
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..100 {
+            assert_eq!(Pattern::Uniform.dest(NodeId(3), &m, &f, &mut rng), Some(NodeId(60)));
+        }
+        // no alive destination at all -> None, not a spin
+        f.fail_node(NodeId(60));
+        assert_eq!(Pattern::Uniform.dest(NodeId(3), &m, &f, &mut rng), None);
     }
 
     #[test]

@@ -1,0 +1,229 @@
+//! End-to-end tests of the dynamic-fault lifecycle: scripted fault plans,
+//! worm kills, link/node repair, source retransmission, and the rejected
+//! injection path — with the accounting invariant checked on every cycle.
+
+use ftr_sim::flit::Header;
+use ftr_sim::plan::{FaultAction, FaultPlan};
+use ftr_sim::routing::{Decision, NodeController, RouterView, RoutingAlgorithm, Verdict};
+use ftr_sim::{Network, RetryPolicy, SendError, SimConfig};
+use ftr_topo::{Mesh2D, NodeId, PortId, Topology, VcId, EAST, NORTH, SOUTH, WEST};
+use std::sync::Arc;
+
+/// XY dimension-order routing that declares a message unroutable when the
+/// required link is dead (so transient faults terminate messages instead
+/// of stalling them forever — exactly what the retry policy recovers).
+struct Xy(Mesh2D);
+struct XyCtl(Mesh2D);
+
+impl RoutingAlgorithm for Xy {
+    fn name(&self) -> String {
+        "xy-lifecycle".into()
+    }
+    fn num_vcs(&self) -> usize {
+        1
+    }
+    fn controller(&self, _t: &dyn Topology, _n: NodeId) -> Box<dyn NodeController> {
+        Box::new(XyCtl(self.0.clone()))
+    }
+}
+
+impl NodeController for XyCtl {
+    fn route(
+        &mut self,
+        view: &RouterView<'_>,
+        h: &mut Header,
+        _ip: Option<PortId>,
+        _iv: VcId,
+    ) -> Decision {
+        let (dx, dy) = self.0.offset(view.node, h.dst);
+        let p = if dx > 0 {
+            EAST
+        } else if dx < 0 {
+            WEST
+        } else if dy > 0 {
+            NORTH
+        } else {
+            SOUTH
+        };
+        if !view.link_alive[p.idx()] {
+            return Decision::new(Verdict::Unroutable, 1);
+        }
+        if view.out_free[p.idx()][0] {
+            Decision::new(Verdict::Route(p, VcId(0)), 1)
+        } else {
+            Decision::new(Verdict::Wait, 1)
+        }
+    }
+}
+
+fn mesh_net(side: u32) -> (Arc<Mesh2D>, Network) {
+    let topo = Arc::new(Mesh2D::new(side, side));
+    let net = Network::builder(topo.clone()).build(&Xy((*topo).clone())).expect("valid");
+    (topo, net)
+}
+
+#[test]
+fn send_to_faulty_endpoint_is_rejected_not_fatal() {
+    let (topo, mut net) = mesh_net(4);
+    net.inject_node_fault(topo.node_at(2, 2));
+    assert_eq!(net.send(topo.node_at(2, 2), topo.node_at(0, 0), 4), Err(SendError::FaultySource));
+    assert_eq!(
+        net.send(topo.node_at(0, 0), topo.node_at(2, 2), 4),
+        Err(SendError::FaultyDestination)
+    );
+    assert_eq!(net.stats.rejected_sends, 2);
+    assert_eq!(net.stats.injected_msgs, 0, "rejected sends never enter the network");
+    assert!(net.stats.accounting_balanced());
+    // a healthy pair still works
+    assert!(net.send(topo.node_at(0, 0), topo.node_at(1, 1), 4).is_ok());
+    assert!(net.drain(1_000));
+}
+
+#[test]
+fn fault_plan_drives_injections_and_repairs_from_step() {
+    let (topo, mut net) = mesh_net(4);
+    let n = topo.node_at(1, 1);
+    let plan = FaultPlan::new()
+        .transient_link(10, n, EAST, 40)
+        .at(20, FaultAction::FailNode(topo.node_at(3, 3)))
+        .at(35, FaultAction::RepairNode(topo.node_at(3, 3)));
+    net.set_fault_plan(plan);
+
+    net.run(5);
+    assert!(!net.faults().link_faulty(topo.as_ref(), n, EAST));
+    net.run(10); // cycle 15: link fault fired at 10
+    assert!(net.faults().link_faulty(topo.as_ref(), n, EAST));
+    assert!(!net.faults().node_faulty(topo.node_at(3, 3)));
+    net.run(15); // cycle 30: node fault fired at 20
+    assert!(net.faults().node_faulty(topo.node_at(3, 3)));
+    net.run(10); // cycle 40: node repaired at 35
+    assert!(!net.faults().node_faulty(topo.node_at(3, 3)));
+    assert!(net.faults().link_faulty(topo.as_ref(), n, EAST), "link repairs at 50");
+    net.run(15); // cycle 55: link repaired at 50
+    assert!(!net.faults().link_faulty(topo.as_ref(), n, EAST));
+    assert!(net.faults().faulty_links().next().is_none());
+}
+
+#[test]
+fn transient_link_fault_round_trip_with_per_cycle_accounting() {
+    let (topo, mut net) = mesh_net(4);
+    let src = topo.node_at(0, 1);
+    let dst = topo.node_at(3, 1);
+    // fail the link mid-worm, repair it 50 cycles later
+    net.set_fault_plan(FaultPlan::new().transient_link(8, topo.node_at(1, 1), EAST, 50));
+
+    net.send(src, dst, 24).expect("alive endpoints"); // long worm across the row
+    for _ in 0..12 {
+        net.step();
+        assert!(net.stats.accounting_balanced(), "cycle {}", net.cycle());
+    }
+    assert_eq!(net.stats.killed_msgs, 1, "worm spanning the failed link was ripped");
+    assert_eq!(net.in_flight(), 0);
+
+    // before the repair the same route is refused (unroutable at (1,1))
+    net.send(src, dst, 4).expect("alive endpoints");
+    while net.cycle() < 40 {
+        net.step();
+        assert!(net.stats.accounting_balanced(), "cycle {}", net.cycle());
+    }
+    assert_eq!(net.stats.unroutable_msgs, 1, "no route while the link is down");
+
+    // after the repair (cycle 58) the flow resumes on the original path
+    while net.cycle() < 60 {
+        net.step();
+    }
+    net.send(src, dst, 4).expect("alive endpoints");
+    assert!(net.drain(1_000));
+    assert_eq!(net.stats.delivered_msgs, 1);
+    assert!(net.stats.accounting_balanced());
+    assert!(!net.stats.deadlock);
+}
+
+#[test]
+fn retry_policy_recovers_what_the_baseline_loses() {
+    // identical scenario, with and without source retransmission
+    let run = |retry: Option<RetryPolicy>| {
+        let topo = Arc::new(Mesh2D::new(4, 4));
+        let mut b = Network::builder(topo.clone()).fault_plan(FaultPlan::new().transient_link(
+            8,
+            topo.node_at(1, 1),
+            EAST,
+            50,
+        ));
+        if let Some(rp) = retry {
+            b = b.retry(rp);
+        }
+        let mut net = b.build(&Xy((*topo).clone())).expect("valid");
+        net.set_measuring(true);
+        net.send(topo.node_at(0, 1), topo.node_at(3, 1), 24).expect("alive");
+        let drained = net.drain(2_000);
+        for _ in 0..5 {
+            net.step(); // a few extra cycles: drain() may return at in_flight 0
+        }
+        assert!(net.stats.accounting_balanced());
+        (net.stats.clone(), drained)
+    };
+
+    let (no_retry, _) = run(None);
+    assert_eq!(no_retry.delivered_msgs, 0, "baseline loses the ripped worm");
+    assert_eq!(no_retry.killed_msgs, 1);
+    assert!(no_retry.delivery_ratio() < 1.0);
+
+    let (with_retry, drained) = run(Some(RetryPolicy { max_attempts: 6, backoff_cycles: 30 }));
+    assert!(drained, "retrying run must terminate");
+    assert_eq!(with_retry.delivered_msgs, 1, "retry delivers after the repair");
+    assert_eq!(with_retry.killed_msgs + with_retry.unroutable_msgs, 0, "no terminal loss");
+    assert_eq!(with_retry.abandoned_msgs, 0);
+    assert!(with_retry.retried_msgs >= 1, "at least one re-injection");
+    assert_eq!(with_retry.delivery_ratio(), 1.0, "delivery ratio recovers to 1.0");
+    // latency is measured from the FIRST attempt's injection, so it must
+    // span the outage: the link only comes back at cycle 58
+    assert_eq!(with_retry.latency.count, 1);
+    assert!(with_retry.latency.min >= 58, "latency {} spans the outage", with_retry.latency.min);
+}
+
+#[test]
+fn retry_exhaustion_abandons_and_accounts() {
+    let (topo, mut net) = mesh_net(4);
+    net.set_retry_policy(Some(RetryPolicy { max_attempts: 3, backoff_cycles: 10 }));
+    // permanent fault on the XY path: every attempt dies unroutable
+    net.inject_link_fault(topo.node_at(1, 1), EAST);
+    net.send(topo.node_at(0, 1), topo.node_at(3, 1), 4).expect("alive");
+    assert!(net.drain(2_000), "exhaustion must terminate the message");
+    assert_eq!(net.stats.retried_msgs, 2, "attempts 2 and 3 were re-injections");
+    assert_eq!(net.stats.abandoned_msgs, 1);
+    assert_eq!(net.stats.unroutable_msgs, 1, "terminal cause recorded");
+    assert_eq!(net.stats.delivered_msgs, 0);
+    assert!(net.stats.accounting_balanced());
+}
+
+#[test]
+fn retry_to_dead_endpoint_is_abandoned_not_stuck() {
+    let (topo, mut net) = mesh_net(4);
+    net.set_retry_policy(Some(RetryPolicy { max_attempts: 10, backoff_cycles: 10 }));
+    net.send(topo.node_at(0, 1), topo.node_at(3, 1), 24).expect("alive");
+    net.run(6);
+    // destination dies while the worm is in flight: kill + scheduled retry
+    net.inject_node_fault(topo.node_at(3, 1));
+    assert!(net.drain(1_000), "retry to a dead destination must not stall the drain");
+    assert_eq!(net.stats.abandoned_msgs, 1);
+    assert_eq!(net.stats.delivered_msgs, 0);
+    assert!(net.stats.accounting_balanced());
+}
+
+#[test]
+fn retry_backoff_longer_than_watchdog_is_not_a_deadlock() {
+    let topo = Arc::new(Mesh2D::new(4, 4));
+    let cfg = SimConfig { deadlock_threshold: 40, ..Default::default() };
+    let mut net = Network::builder(topo.clone())
+        .config(cfg)
+        .retry(RetryPolicy { max_attempts: 4, backoff_cycles: 120 })
+        .fault_plan(FaultPlan::new().transient_link(8, topo.node_at(1, 1), EAST, 60))
+        .build(&Xy((*topo).clone()))
+        .expect("valid");
+    net.send(topo.node_at(0, 1), topo.node_at(3, 1), 24).expect("alive");
+    assert!(net.drain(2_000));
+    assert!(!net.stats.deadlock, "idle backoff must not trip the watchdog");
+    assert_eq!(net.stats.delivered_msgs, 1);
+    assert!(net.stats.accounting_balanced());
+}

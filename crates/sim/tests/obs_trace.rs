@@ -70,7 +70,7 @@ fn traced_run(seed: u64, cycles: u64, fault_at: Option<u64>) -> (Network, Arc<Ri
             net.inject_link_fault(mesh.node_at(2, 2), EAST);
         }
         for (s, d, l) in tf.tick(&mesh, net.faults()) {
-            net.send(s, d, l);
+            net.send(s, d, l).unwrap();
         }
         net.step();
     }
@@ -92,7 +92,7 @@ fn stats_accounting_balances_throughout_a_faulty_run() {
             net.inject_node_fault(mesh.node_at(3, 3));
         }
         for (s, d, l) in tf.tick(&mesh, net.faults()) {
-            net.send(s, d, l);
+            net.send(s, d, l).unwrap();
         }
         net.step();
         // the invariant holds on EVERY cycle, not just at quiescence
@@ -173,7 +173,7 @@ fn sweep_is_deterministic_across_thread_counts() {
         net.set_measuring(true);
         for _ in 0..300 {
             for (s, d, l) in tf.tick(&mesh, net.faults()) {
-                net.send(s, d, l);
+                net.send(s, d, l).unwrap();
             }
             net.step();
         }

@@ -74,7 +74,7 @@ proptest! {
         let mut tf = TrafficSource::new(Pattern::Uniform, rate, len, seed);
         for _ in 0..cycles {
             for (s, d, l) in tf.tick(&mesh, net.faults()) {
-                net.send(s, d, l);
+                net.send(s, d, l).unwrap();
             }
             net.step();
         }
@@ -98,7 +98,7 @@ proptest! {
         let src = NodeId(seed as u32 % 25);
         let dst = NodeId((seed as u32 + 7) % 25);
         prop_assume!(src != dst);
-        net.send(src, dst, len);
+        net.send(src, dst, len).unwrap();
         prop_assert!(net.drain(10_000));
         let hops = mesh.min_distance(src, dst) as u64;
         prop_assert!(
@@ -126,7 +126,7 @@ proptest! {
                 net.inject_link_fault(mesh.node_at(fx, fy), PortId(dir));
             }
             for (s, d, l) in tf.tick(&mesh, net.faults()) {
-                net.send(s, d, l);
+                net.send(s, d, l).unwrap();
             }
             net.step();
         }
@@ -152,7 +152,7 @@ proptest! {
             let cfg = SimConfig { decision_cycles_per_step: cps, ..Default::default() };
             let mut net = Network::builder(Arc::new(mesh.clone())).config(cfg).build(&Xy(mesh.clone())).expect("valid config");
             net.set_measuring(true);
-            net.send(src, dst, 2);
+            net.send(src, dst, 2).unwrap();
             prop_assert!(net.drain(10_000));
             lat.push(net.stats.latency.min);
         }
@@ -170,7 +170,7 @@ proptest! {
         net.add_measured_cycles(300);
         for _ in 0..300 {
             for (s, d, l) in tf.tick(&mesh, net.faults()) {
-                net.send(s, d, l);
+                net.send(s, d, l).unwrap();
             }
             net.step();
         }

@@ -29,7 +29,7 @@ pub mod spanning;
 pub mod torus;
 
 pub use cdg::{Channel, ChannelDependencyGraph};
-pub use faults::FaultSet;
+pub use faults::{FaultSet, SimpleRng};
 pub use hypercube::Hypercube;
 pub use ids::{LinkId, NodeId, PortId, VcId};
 pub use karyncube::KAryNCube;

@@ -63,7 +63,7 @@ fn run(name: &str, src: &str, mesh: &Mesh2D) -> (u64, u64) {
     let mut net = Network::builder(Arc::new(mesh.clone())).build(&router).expect("valid config");
     // fault on the x-first path from (0,2) to (3,1)
     net.inject_link_fault(mesh.node_at(1, 2), EAST);
-    net.send(mesh.node_at(0, 2), mesh.node_at(3, 1), 4);
+    net.send(mesh.node_at(0, 2), mesh.node_at(3, 1), 4).unwrap();
     net.drain(5_000);
     (net.stats.delivered_msgs, net.stats.unroutable_msgs)
 }

@@ -42,7 +42,7 @@ fn main() {
             _ => {}
         }
         for (s, d, l) in traffic.tick(&mesh, net.faults()) {
-            net.send(s, d, l);
+            net.send(s, d, l).unwrap();
         }
         net.step();
         if cycle % 1_500 == 1_499 {

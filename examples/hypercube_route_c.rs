@@ -81,7 +81,7 @@ fn main() {
     let mut traffic = TrafficSource::new(Pattern::Uniform, 0.1, 4, 3);
     for _ in 0..4_000 {
         for (s, d, l) in traffic.tick(&cube, net.faults()) {
-            net.send(s, d, l);
+            net.send(s, d, l).unwrap();
         }
         net.step();
     }

@@ -37,7 +37,7 @@ fn main() {
     let mut traffic = TrafficSource::new(Pattern::Uniform, 0.15, 4, 1);
     for _ in 0..2_000 {
         for (src, dst, len) in traffic.tick(&mesh, net.faults()) {
-            net.send(src, dst, len);
+            net.send(src, dst, len).unwrap();
         }
         net.step();
     }

@@ -25,7 +25,7 @@ pub use ftr_topo as topo;
 ///     .trace(sink.clone())
 ///     .build(&XyRouting::new(mesh))
 ///     .expect("valid configuration");
-/// net.send(NodeId(0), NodeId(15), 4);
+/// net.send(NodeId(0), NodeId(15), 4).expect("endpoints alive");
 /// assert!(net.drain(1_000));
 /// assert!(!sink.is_empty());
 /// ```
@@ -36,7 +36,8 @@ pub mod prelude {
     };
     pub use ftr_rules::{InterpProbe, Machine, Program};
     pub use ftr_sim::{
-        BuildError, Network, NetworkBuilder, Pattern, SimConfig, SimStats, TrafficSource,
+        BuildError, FaultAction, FaultPlan, Network, NetworkBuilder, Pattern, RetryPolicy,
+        SendError, SimConfig, SimStats, TrafficSource,
     };
     pub use ftr_topo::{FaultSet, Hypercube, Mesh2D, NodeId, PortId, Topology, VcId};
 }

@@ -16,7 +16,7 @@ fn all_pairs<T: Topology + Clone + 'static>(topo: &T, algo: &dyn RoutingAlgorith
     for a in topo.nodes() {
         for b in topo.nodes() {
             if a != b {
-                net.send(a, b, 2);
+                net.send(a, b, 2).unwrap();
             }
         }
     }
@@ -109,7 +109,7 @@ fn rule_driven_routers_survive_sustained_traffic() {
         let mut tf = TrafficSource::new(Pattern::Uniform, 0.15, 4, 77);
         for _ in 0..600 {
             for (s, d, l) in tf.tick(&mesh, net.faults()) {
-                net.send(s, d, l);
+                net.send(s, d, l).unwrap();
             }
             net.step();
         }
@@ -132,7 +132,7 @@ fn adaptive_beats_oblivious_on_transpose_traffic() {
         let mut tf = TrafficSource::new(Pattern::Transpose { side: 6 }, 0.25, 4, 5);
         for _ in 0..600 {
             for (s, d, l) in tf.tick(&mesh, net.faults()) {
-                net.send(s, d, l);
+                net.send(s, d, l).unwrap();
             }
             net.step();
         }
@@ -140,7 +140,7 @@ fn adaptive_beats_oblivious_on_transpose_traffic() {
         net.add_measured_cycles(1_500);
         for _ in 0..1_500 {
             for (s, d, l) in tf.tick(&mesh, net.faults()) {
-                net.send(s, d, l);
+                net.send(s, d, l).unwrap();
             }
             net.step();
         }
@@ -169,7 +169,7 @@ fn nafta_delivers_under_random_fault_batches() {
         let mut tf = TrafficSource::new(Pattern::Uniform, 0.1, 4, seed);
         for _ in 0..800 {
             for (s, d, l) in tf.tick(&mesh, net.faults()) {
-                net.send(s, d, l);
+                net.send(s, d, l).unwrap();
             }
             net.step();
         }
@@ -207,7 +207,7 @@ fn rule_driven_route_c_matches_native_behaviour() {
         let mut tf = TrafficSource::new(Pattern::Uniform, 0.1, 4, 123);
         for _ in 0..600 {
             for (s, d, l) in tf.tick(&cube, net.faults()) {
-                net.send(s, d, l);
+                net.send(s, d, l).unwrap();
             }
             net.step();
         }
