@@ -19,10 +19,11 @@
 
 use ftr_algos::Nafta;
 use ftr_bench::results;
-use ftr_obs::json;
+use ftr_obs::{json, TeeSink, TraceSink};
 use ftr_sim::sweep::{default_threads, run_sweep};
 use ftr_sim::{FaultPlan, Network, Pattern, RetryPolicy, TrafficSource};
 use ftr_topo::Mesh2D;
+use ftr_trace::DiagnoserSink;
 use std::sync::Arc;
 
 const SIDE: u32 = 6;
@@ -53,6 +54,9 @@ struct RunOut {
     deadlock: bool,
     drained: bool,
     balanced: bool,
+    /// The online diagnoser's verdict: a fault-tolerant campaign run
+    /// must never look deadlocked to the wait-for-graph scan either.
+    diag_clean: bool,
 }
 
 fn run_one(spec: &RunSpec) -> RunOut {
@@ -68,6 +72,20 @@ fn run_one(spec: &RunSpec) -> RunOut {
     if spec.retry {
         b = b.retry(RetryPolicy { max_attempts: 8, backoff_cycles: 64 });
     }
+    // every run carries the online deadlock diagnoser; with
+    // FTR_TRACE_DIR set the same stream is also captured as JSONL
+    let diag = Arc::new(DiagnoserSink::default());
+    let label = format!(
+        "campaign_{}_f{}_s{}",
+        if spec.retry { "retry" } else { "base" },
+        spec.faults,
+        spec.seed
+    );
+    let jsonl = results::trace_sink(&label);
+    b = match &jsonl {
+        Some(j) => b.trace(Arc::new(TeeSink::new(vec![j.clone(), diag.clone()]))),
+        None => b.trace(diag.clone()),
+    };
     let mut net = b.build(&Nafta::new(mesh.clone())).expect("valid config");
     net.set_measuring(true);
 
@@ -81,6 +99,11 @@ fn run_one(spec: &RunSpec) -> RunOut {
         net.step();
     }
     let drained = net.drain(DRAIN_BUDGET);
+    diag.scan_now();
+    if let Some(j) = &jsonl {
+        j.flush();
+        assert_eq!(j.write_errors(), 0, "trace capture lost events");
+    }
 
     let s = &net.stats;
     RunOut {
@@ -96,6 +119,7 @@ fn run_one(spec: &RunSpec) -> RunOut {
         deadlock: s.deadlock,
         drained,
         balanced: s.accounting_balanced(),
+        diag_clean: diag.deadlock().is_none(),
     }
 }
 
@@ -140,16 +164,26 @@ fn main() {
     // hard invariants: every run, no exceptions
     let mut violations = 0usize;
     for (spec, out) in specs.iter().zip(&outs) {
-        if !out.balanced || out.deadlock || !out.drained {
+        if !out.balanced || out.deadlock || !out.drained || !out.diag_clean {
             violations += 1;
             eprintln!(
                 "INVARIANT VIOLATION: retry={} faults={} seed={} \
-                 balanced={} deadlock={} drained={}",
-                spec.retry, spec.faults, spec.seed, out.balanced, out.deadlock, out.drained
+                 balanced={} deadlock={} drained={} diagnoser_clean={}",
+                spec.retry,
+                spec.faults,
+                spec.seed,
+                out.balanced,
+                out.deadlock,
+                out.drained,
+                out.diag_clean
             );
         }
     }
-    assert_eq!(violations, 0, "campaign runs must stay balanced, drained, deadlock-free");
+    assert_eq!(
+        violations, 0,
+        "campaign runs must stay balanced, drained, and deadlock-free \
+         (watchdog and online diagnoser)"
+    );
 
     let mut cells: Vec<Cell> = Vec::new();
     for &retry in &[false, true] {

@@ -2,16 +2,43 @@
 //!
 //! Every bench binary prints its human-readable table to stdout and, via
 //! [`write_json`], drops the same data as validated JSON into `results/`
-//! so plots and CI checks never scrape the tables.
+//! so plots and CI checks never scrape the tables. Setting
+//! `FTR_TRACE_DIR` additionally makes the experiment harness attach a
+//! `JsonlSink` per run (see [`trace_sink`]), so any sweep can be
+//! replayed through `ftr-trace` after the fact.
 
-use ftr_obs::json;
+use ftr_obs::{json, JsonlSink};
 use std::path::PathBuf;
+use std::sync::Arc;
 
 /// Directory experiment outputs land in, overridable through the
 /// `FTR_RESULTS_DIR` environment variable (used by CI to keep smoke runs
 /// out of the tree).
 pub fn results_dir() -> PathBuf {
     std::env::var_os("FTR_RESULTS_DIR").map_or_else(|| PathBuf::from("results"), PathBuf::from)
+}
+
+/// Directory JSONL trace captures go to, from the `FTR_TRACE_DIR`
+/// environment variable. `None` (the default) disables trace capture —
+/// simulations then run without a sink and never construct an event.
+pub fn trace_dir() -> Option<PathBuf> {
+    std::env::var_os("FTR_TRACE_DIR").map(PathBuf::from)
+}
+
+/// When `FTR_TRACE_DIR` is set, creates `<dir>/<label>.jsonl` and
+/// returns a sink streaming this run's events into it. `label` is
+/// sanitised to `[A-Za-z0-9._-]`, so callers can pass algorithm names
+/// (`rule:xy`) or parameter tuples verbatim.
+pub fn trace_sink(label: &str) -> Option<Arc<JsonlSink<std::fs::File>>> {
+    let dir = trace_dir()?;
+    std::fs::create_dir_all(&dir).unwrap_or_else(|e| panic!("cannot create {dir:?}: {e}"));
+    let clean: String = label
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-') { c } else { '-' })
+        .collect();
+    let path = dir.join(format!("{clean}.jsonl"));
+    let sink = JsonlSink::create(&path).unwrap_or_else(|e| panic!("cannot create {path:?}: {e}"));
+    Some(Arc::new(sink))
 }
 
 /// Validates `payload` as JSON and writes it to `results/<name>.json`

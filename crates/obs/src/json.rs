@@ -1,10 +1,13 @@
-//! Minimal JSON emission.
+//! Minimal JSON emission and parsing.
 //!
 //! The workspace builds hermetically (the `serde` dependency is a
 //! derive-only shim with no serializer), so the observability layer
-//! carries its own small writer. It covers exactly what the exporters
-//! need — objects, arrays, strings, integers and finite floats — and
-//! always produces valid UTF-8 JSON.
+//! carries its own small writer and reader. The writer covers exactly
+//! what the exporters need — objects, arrays, strings, integers and
+//! finite floats — and always produces valid UTF-8 JSON. The reader
+//! ([`parse`] → [`Value`], and the counting [`validate`]) implements the
+//! strict RFC 8259 grammar and backs both the CI smoke checks and the
+//! `ftr-trace` JSONL loader.
 
 use std::fmt::Write as _;
 
@@ -115,6 +118,106 @@ pub fn array<I: IntoIterator<Item = S>, S: AsRef<str>>(items: I) -> String {
     buf
 }
 
+/// A parsed JSON value.
+///
+/// Produced by [`parse`]; integers that fit `i128` without a fraction or
+/// exponent stay exact ([`Value::Int`]), everything else numeric becomes
+/// [`Value::Float`]. Object fields keep their textual order.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer without fraction/exponent, kept exact.
+    Int(i128),
+    /// Any other number.
+    Float(f64),
+    /// A string (escapes resolved).
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object, fields in source order.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Field lookup on an object (`None` for other value kinds).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as `u64` if it is a non-negative integer in range.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Int(i) => u64::try_from(*i).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as `i64` if it is an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => i64::try_from(*i).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64` (integers convert losslessly when possible).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// True for `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+/// Parses one JSON document into a [`Value`] under the same strict
+/// RFC 8259 grammar [`validate`] enforces.
+pub fn parse(s: &str) -> Result<Value, String> {
+    let mut p = Parser { b: s.as_bytes(), i: 0, seen: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.i != p.b.len() {
+        return Err(format!("trailing garbage at byte {}", p.i));
+    }
+    Ok(v)
+}
+
 /// Structural validity check used by tests and the CI smoke job: parses
 /// the value grammar (objects, arrays, strings, numbers, booleans, null)
 /// and returns the number of values seen, or an error description.
@@ -155,15 +258,15 @@ impl Parser<'_> {
         }
     }
 
-    fn value(&mut self) -> Result<(), String> {
+    fn value(&mut self) -> Result<Value, String> {
         self.seen += 1;
         match self.peek() {
             Some(b'{') => self.object(),
             Some(b'[') => self.array(),
-            Some(b'"') => self.string(),
-            Some(b't') => self.literal("true"),
-            Some(b'f') => self.literal("false"),
-            Some(b'n') => self.literal("null"),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b't') => self.literal("true").map(|()| Value::Bool(true)),
+            Some(b'f') => self.literal("false").map(|()| Value::Bool(false)),
+            Some(b'n') => self.literal("null").map(|()| Value::Null),
             Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
             other => Err(format!("unexpected {other:?} at byte {}", self.i)),
         }
@@ -181,8 +284,9 @@ impl Parser<'_> {
     /// RFC 8259 number grammar: `-?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?`.
     /// Delegating to `f64::parse` would also accept `.5`, `01`, `1.` and
     /// `+3`, which JSON forbids.
-    fn number(&mut self) -> Result<(), String> {
+    fn number(&mut self) -> Result<Value, String> {
         let start = self.i;
+        let mut integral = true;
         if self.peek() == Some(b'-') {
             self.i += 1;
         }
@@ -201,6 +305,7 @@ impl Parser<'_> {
         }
         // optional fraction: '.' requires at least one digit
         if self.peek() == Some(b'.') {
+            integral = false;
             self.i += 1;
             if !self.peek().is_some_and(|c| c.is_ascii_digit()) {
                 return Err(format!("bad number: empty fraction at byte {start}"));
@@ -211,6 +316,7 @@ impl Parser<'_> {
         }
         // optional exponent: e/E, optional sign, at least one digit
         if matches!(self.peek(), Some(b'e' | b'E')) {
+            integral = false;
             self.i += 1;
             if matches!(self.peek(), Some(b'+' | b'-')) {
                 self.i += 1;
@@ -222,66 +328,135 @@ impl Parser<'_> {
                 self.i += 1;
             }
         }
-        Ok(())
+        let text = std::str::from_utf8(&self.b[start..self.i]).map_err(|e| e.to_string())?;
+        if integral {
+            if let Ok(i) = text.parse::<i128>() {
+                return Ok(Value::Int(i));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|e| format!("bad number at byte {start}: {e}"))
     }
 
-    fn string(&mut self) -> Result<(), String> {
+    fn string(&mut self) -> Result<String, String> {
         self.expect(b'"')?;
+        let mut out = String::new();
+        // decode bytes up to the closing quote; multi-byte UTF-8 sequences
+        // pass through verbatim (the input is a &str, so they are valid)
         while let Some(c) = self.peek() {
             self.i += 1;
             match c {
-                b'"' => return Ok(()),
+                b'"' => return Ok(out),
                 b'\\' => {
-                    self.i += 1; // escape consumes the next byte (\uXXXX digits parse as chars)
+                    let esc = self.peek().ok_or_else(|| String::from("unterminated escape"))?;
+                    self.i += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let cp = self.hex4()?;
+                            let ch = if (0xD800..0xDC00).contains(&cp) {
+                                // high surrogate: require a low-surrogate pair
+                                if self.peek() != Some(b'\\') {
+                                    return Err("lone high surrogate".into());
+                                }
+                                self.i += 1;
+                                self.expect(b'u')?;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err("invalid low surrogate".into());
+                                }
+                                let c = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(c).ok_or("invalid surrogate pair")?
+                            } else {
+                                char::from_u32(cp).ok_or(format!("invalid \\u escape {cp:04x}"))?
+                            };
+                            out.push(ch);
+                        }
+                        other => {
+                            return Err(format!(
+                                "bad escape \\{} at byte {}",
+                                other as char, self.i
+                            ))
+                        }
+                    }
                 }
-                _ => {}
+                _ => {
+                    // re-take the full UTF-8 character starting at c
+                    let s =
+                        std::str::from_utf8(&self.b[self.i - 1..]).map_err(|e| e.to_string())?;
+                    let ch = s.chars().next().expect("non-empty");
+                    out.push(ch);
+                    self.i += ch.len_utf8() - 1;
+                }
             }
         }
         Err("unterminated string".into())
     }
 
-    fn object(&mut self) -> Result<(), String> {
+    fn hex4(&mut self) -> Result<u32, String> {
+        let end = self.i + 4;
+        if end > self.b.len() {
+            return Err("truncated \\u escape".into());
+        }
+        let hex = std::str::from_utf8(&self.b[self.i..end]).map_err(|e| e.to_string())?;
+        let cp = u32::from_str_radix(hex, 16).map_err(|_| format!("bad \\u escape `{hex}`"))?;
+        self.i = end;
+        Ok(cp)
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
         self.expect(b'{')?;
         self.skip_ws();
+        let mut fields = Vec::new();
         if self.peek() == Some(b'}') {
             self.i += 1;
-            return Ok(());
+            return Ok(Value::Obj(fields));
         }
         loop {
             self.skip_ws();
-            self.string()?;
+            let key = self.string()?;
             self.skip_ws();
             self.expect(b':')?;
             self.skip_ws();
-            self.value()?;
+            let val = self.value()?;
+            fields.push((key, val));
             self.skip_ws();
             match self.peek() {
                 Some(b',') => self.i += 1,
                 Some(b'}') => {
                     self.i += 1;
-                    return Ok(());
+                    return Ok(Value::Obj(fields));
                 }
                 other => return Err(format!("expected , or }} got {other:?} at {}", self.i)),
             }
         }
     }
 
-    fn array(&mut self) -> Result<(), String> {
+    fn array(&mut self) -> Result<Value, String> {
         self.expect(b'[')?;
         self.skip_ws();
+        let mut items = Vec::new();
         if self.peek() == Some(b']') {
             self.i += 1;
-            return Ok(());
+            return Ok(Value::Arr(items));
         }
         loop {
             self.skip_ws();
-            self.value()?;
+            items.push(self.value()?);
             self.skip_ws();
             match self.peek() {
                 Some(b',') => self.i += 1,
                 Some(b']') => {
                     self.i += 1;
-                    return Ok(());
+                    return Ok(Value::Arr(items));
                 }
                 other => return Err(format!("expected , or ] got {other:?} at {}", self.i)),
             }
@@ -347,5 +522,46 @@ mod tests {
         assert_eq!(float(f64::NAN), "null");
         assert_eq!(float(f64::INFINITY), "null");
         assert_eq!(float(2.5), "2.5");
+    }
+
+    #[test]
+    fn parse_produces_typed_values() {
+        let v = parse(r#"{"a":1,"b":-2.5,"c":"x","d":[true,null],"e":{"f":18446744073709551615}}"#)
+            .unwrap();
+        assert_eq!(v.get("a").unwrap().as_u64(), Some(1));
+        assert_eq!(v.get("a").unwrap().as_i64(), Some(1));
+        assert_eq!(v.get("b").unwrap().as_f64(), Some(-2.5));
+        assert_eq!(v.get("c").unwrap().as_str(), Some("x"));
+        let arr = v.get("d").unwrap().as_arr().unwrap();
+        assert_eq!(arr[0].as_bool(), Some(true));
+        assert!(arr[1].is_null());
+        // u64::MAX has no i64 representation but stays exact as an integer
+        assert_eq!(v.get("e").unwrap().get("f").unwrap().as_u64(), Some(u64::MAX));
+        assert_eq!(v.get("e").unwrap().get("f").unwrap().as_i64(), None);
+    }
+
+    #[test]
+    fn parse_resolves_escapes() {
+        assert_eq!(parse(r#""a\"b\\c\n\tA""#).unwrap(), Value::Str("a\"b\\c\n\tA".into()));
+        assert_eq!(parse(r#""😀""#).unwrap(), Value::Str("😀".into()));
+        assert_eq!(parse(r#""\ud83d\ude00""#).unwrap(), Value::Str("😀".into()));
+        assert_eq!(parse(r#""Aé""#).unwrap(), Value::Str("Aé".into()));
+        assert_eq!(parse(r#""Aé""#).unwrap(), Value::Str("Aé".into()));
+        assert!(parse(r#""\ud83d""#).is_err(), "lone surrogate must be rejected");
+        assert!(parse(r#""\q""#).is_err(), "unknown escape must be rejected");
+    }
+
+    #[test]
+    fn parse_round_trips_writer_output() {
+        let s = string("mixed \u{1} text\nwith 😀 and \"quotes\"");
+        assert_eq!(parse(&s).unwrap().as_str(), Some("mixed \u{1} text\nwith 😀 and \"quotes\""));
+    }
+
+    #[test]
+    fn parse_and_validate_agree_on_errors() {
+        for bad in ["{", r#"{"a":}"#, "[1,2,]", "123 45", ".5", "01"] {
+            assert!(parse(bad).is_err(), "`{bad}`");
+            assert!(validate(bad).is_err(), "`{bad}`");
+        }
     }
 }

@@ -25,7 +25,9 @@
 //!
 //! JSON is emitted by the in-tree writer in [`json`] (the hermetic build
 //! has no serializer crate); [`json::validate`] backs the CI smoke check
-//! that exported results parse.
+//! that exported results parse, and [`json::parse`] reads trace lines
+//! back into [`json::Value`]s for [`TraceEvent::from_json`] — the
+//! offline half of the `ftr-trace` diagnosis pipeline.
 
 pub mod event;
 pub mod json;
@@ -34,6 +36,7 @@ pub mod profile;
 pub mod sink;
 
 pub use event::{EventKind, RouteOutcome, TraceEvent};
+pub use json::Value;
 pub use metrics::{Counter, HistSnapshot, Histogram, MetricsRegistry};
 pub use profile::{InterpProfiler, StageCost};
 pub use sink::{JsonlSink, RingSink, TeeSink, TraceSink};

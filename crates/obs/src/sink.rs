@@ -84,6 +84,7 @@ impl TraceSink for RingSink {
 pub struct JsonlSink<W: Write + Send> {
     out: Mutex<BufWriter<W>>,
     written: Mutex<u64>,
+    write_errors: Mutex<u64>,
 }
 
 impl JsonlSink<std::fs::File> {
@@ -96,21 +97,34 @@ impl JsonlSink<std::fs::File> {
 impl<W: Write + Send> JsonlSink<W> {
     /// Wraps an arbitrary writer.
     pub fn new(w: W) -> Self {
-        JsonlSink { out: Mutex::new(BufWriter::new(w)), written: Mutex::new(0) }
+        JsonlSink {
+            out: Mutex::new(BufWriter::new(w)),
+            written: Mutex::new(0),
+            write_errors: Mutex::new(0),
+        }
     }
 
-    /// Events written so far.
+    /// Events successfully written so far.
     pub fn written(&self) -> u64 {
         *self.written.lock()
+    }
+
+    /// Events lost to write failures — a trace with `write_errors() > 0`
+    /// is incomplete and must not be treated as ground truth.
+    pub fn write_errors(&self) -> u64 {
+        *self.write_errors.lock()
     }
 }
 
 impl<W: Write + Send> TraceSink for JsonlSink<W> {
     fn record(&self, ev: &TraceEvent) {
         let mut out = self.out.lock();
-        // an unwritable sink must not bring the simulation down
-        let _ = writeln!(out, "{}", ev.to_json());
-        *self.written.lock() += 1;
+        // an unwritable sink must not bring the simulation down, but the
+        // loss has to be countable — only successful writes hit `written`
+        match writeln!(out, "{}", ev.to_json()) {
+            Ok(()) => *self.written.lock() += 1,
+            Err(_) => *self.write_errors.lock() += 1,
+        }
     }
 
     fn flush(&self) {
@@ -191,6 +205,41 @@ mod tests {
             assert!(validate(l).is_ok(), "{l}");
         }
         assert_eq!(sink.written(), 2);
+    }
+
+    /// Fails after `cap` bytes — models a full disk mid-trace.
+    struct Failing {
+        cap: usize,
+        taken: usize,
+    }
+
+    impl Write for Failing {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            if self.taken + buf.len() > self.cap {
+                return Err(std::io::Error::new(std::io::ErrorKind::WriteZero, "full"));
+            }
+            self.taken += buf.len();
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn jsonl_counts_only_successful_writes() {
+        // BufWriter with a tiny buffer so each record hits the writer
+        let sink = JsonlSink {
+            out: Mutex::new(BufWriter::with_capacity(1, Failing { cap: 40, taken: 0 })),
+            written: Mutex::new(0),
+            write_errors: Mutex::new(0),
+        };
+        for i in 0..8 {
+            sink.record(&ev(i, i));
+        }
+        assert!(sink.written() < 8, "some writes must have failed");
+        assert_eq!(sink.written() + sink.write_errors(), 8, "every record is accounted for");
+        assert!(sink.write_errors() > 0);
     }
 
     #[test]

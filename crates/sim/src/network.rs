@@ -701,6 +701,55 @@ impl Network {
         self.ctrls[n.idx()].relation(&view, header, in_port, in_vc)
     }
 
+    /// Output channels the controller would accept *right now* for a head
+    /// it asked to wait: each live `(port, vc)` is probed under a
+    /// synthetic view where exactly that channel is free, and kept when
+    /// the controller grants it. Runs only while a trace sink is attached
+    /// (the `RouteWait` wait-for edges); header mutations made by the
+    /// probed decisions are discarded, so a controller whose `route` is a
+    /// pure function of view + header — every in-tree algorithm — is
+    /// unperturbed.
+    fn probe_wants(
+        &mut self,
+        n: NodeId,
+        header: &Header,
+        in_port: Option<PortId>,
+        in_vc: VcId,
+    ) -> Vec<(PortId, VcId)> {
+        let degree = self.topo.degree();
+        let mut link_alive = vec![false; degree];
+        for (p, alive) in link_alive.iter_mut().enumerate() {
+            *alive = self.faults.link_usable(self.topo.as_ref(), n, PortId(p as u8));
+        }
+        let out_load = vec![0u32; degree];
+        let mut out_free = vec![vec![false; self.vcs]; degree];
+        let mut wants = Vec::new();
+        for p in 0..degree {
+            if !link_alive[p] {
+                continue;
+            }
+            for v in 0..self.vcs {
+                out_free[p][v] = true;
+                let view = RouterView {
+                    node: n,
+                    cycle: self.cycle,
+                    out_free: &out_free,
+                    out_load: &out_load,
+                    link_alive: &link_alive,
+                };
+                let mut h = *header;
+                let dec = self.ctrls[n.idx()].route(&view, &mut h, in_port, in_vc);
+                out_free[p][v] = false;
+                if let Verdict::Route(rp, rv) = dec.verdict {
+                    if rp.idx() == p && rv.idx() == v {
+                        wants.push((PortId(p as u8), VcId(v as u8)));
+                    }
+                }
+            }
+        }
+        wants
+    }
+
     fn notify_fault(&mut self, node: NodeId, port: PortId) {
         if self.faults.node_faulty(node) {
             return;
@@ -1122,6 +1171,12 @@ impl Network {
                 if is_tail {
                     self.nodes[ni].inputs[ip][iv].reset_route();
                     self.nodes[ni].outputs[p][ov.idx()].owner = None;
+                    self.emit(|| EventKind::VcRelease {
+                        node: n,
+                        msg: flit.msg.0,
+                        port: PortId(p as u8),
+                        vc: ov,
+                    });
                 }
                 self.nodes[ni].outputs[p][ov.idx()].credits -= 1;
                 self.nodes[ni].out_assigned[p] = self.nodes[ni].out_assigned[p].saturating_sub(1);
@@ -1260,7 +1315,16 @@ impl Network {
             Verdict::Deliver => {
                 self.nodes[n.idx()].inputs[ip][iv].route = RouteState::Local;
             }
-            Verdict::Wait => {}
+            Verdict::Wait => {
+                // trace completeness: a waiting head never reaches the
+                // VcStall path (the controller withheld the grant), so the
+                // blocked cycle and the channels that would unblock it are
+                // recorded here — the diagnoser's wait-for edges
+                if self.sink.is_some() {
+                    let wants = self.probe_wants(n, &header, in_port, VcId(iv as u8));
+                    self.emit(|| EventKind::RouteWait { node: n, msg: header_copy.msg.0, wants });
+                }
+            }
             Verdict::Unroutable => {
                 unroutable.insert(header_copy.msg);
             }
@@ -1290,6 +1354,12 @@ impl Network {
                     node.inputs[ip][iv].route = RouteState::Out(p, v);
                     node.inputs[ip][iv].misrouted = misrouted;
                     node.out_assigned[p.idx()] += header_copy.len_flits;
+                    self.emit(|| EventKind::VcAcquire {
+                        node: n,
+                        msg: header_copy.msg.0,
+                        port: p,
+                        vc: v,
+                    });
                 }
             }
         }

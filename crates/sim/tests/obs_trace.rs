@@ -64,6 +64,7 @@ fn traced_run(seed: u64, cycles: u64, fault_at: Option<u64>) -> (Network, Arc<Ri
         .trace(sink.clone())
         .build(&Xy(mesh.clone()))
         .expect("valid config");
+    net.set_measuring(true); // hops/latency accums cover every message
     let mut tf = TrafficSource::new(Pattern::Uniform, 0.1, 4, seed);
     for c in 0..cycles {
         if Some(c) == fault_at {
@@ -123,7 +124,11 @@ fn trace_stream_is_cycle_monotone_and_causally_ordered() {
             EventKind::Inject { msg, .. } => {
                 assert!(injected_at.insert(*msg, ev.cycle).is_none(), "msg {msg} double-inject");
             }
-            EventKind::RouteDecision { msg, .. } | EventKind::VcStall { msg, .. } => {
+            EventKind::RouteDecision { msg, .. }
+            | EventKind::VcStall { msg, .. }
+            | EventKind::VcAcquire { msg, .. }
+            | EventKind::VcRelease { msg, .. }
+            | EventKind::RouteWait { msg, .. } => {
                 assert!(injected_at.contains_key(msg), "decision before inject for {msg}");
                 assert!(!terminated.contains(msg), "decision after termination for {msg}");
             }
@@ -142,6 +147,68 @@ fn trace_stream_is_cycle_monotone_and_causally_ordered() {
     // the fault injection shows up exactly once
     let faults = events.iter().filter(|e| matches!(e.kind, EventKind::LinkFault { .. })).count();
     assert_eq!(faults, 1);
+}
+
+#[test]
+fn channel_acquire_release_pairing_and_hop_counts() {
+    // fault-free run: every delivered message must acquire and release the
+    // same channels, one acquire per hop, in strict alternation per channel
+    let (net, sink) = traced_run(31, 600, None);
+    assert_eq!(sink.dropped(), 0);
+    let mut held: HashMap<(u32, u8, u8), u64> = HashMap::new();
+    let mut acquires: HashMap<u64, u64> = HashMap::new();
+    let mut releases: HashMap<u64, u64> = HashMap::new();
+    for ev in sink.events() {
+        match ev.kind {
+            EventKind::VcAcquire { node, msg, port, vc } => {
+                let prev = held.insert((node.0, port.0, vc.0), msg);
+                assert_eq!(prev, None, "channel acquired while owned (msg {msg})");
+                *acquires.entry(msg).or_default() += 1;
+            }
+            EventKind::VcRelease { node, msg, port, vc } => {
+                let owner = held.remove(&(node.0, port.0, vc.0));
+                assert_eq!(owner, Some(msg), "release by non-owner (msg {msg})");
+                *releases.entry(msg).or_default() += 1;
+            }
+            _ => {}
+        }
+    }
+    assert!(held.is_empty(), "all channels released by the end of a fault-free run");
+    assert_eq!(acquires, releases, "per-message acquire/release balance");
+    // each acquire is one switch traversal, which is how hops are counted
+    let total_acquires: u64 = acquires.values().sum();
+    assert_eq!(net.stats.delivered_msgs, net.stats.injected_msgs, "fault-free run delivers all");
+    assert_eq!(total_acquires, net.stats.hops.sum, "acquires == hop count");
+}
+
+#[test]
+fn route_wait_events_carry_probed_wants() {
+    // XY routing waits only when its single preferred channel is busy, so
+    // every RouteWait must name exactly that one channel
+    let mesh = Mesh2D::new(5, 5);
+    let sink = Arc::new(RingSink::new(1 << 20));
+    let mut net = Network::builder(Arc::new(mesh.clone()))
+        .trace(sink.clone())
+        .build(&Xy(mesh.clone()))
+        .expect("valid config");
+    // heavy uniform load forces contention and therefore Wait verdicts
+    let mut tf = TrafficSource::new(Pattern::Uniform, 0.5, 8, 5);
+    for _ in 0..400 {
+        for (s, d, l) in tf.tick(&mesh, net.faults()) {
+            net.send(s, d, l).unwrap();
+        }
+        net.step();
+    }
+    net.drain(50_000);
+    assert_eq!(sink.dropped(), 0);
+    let mut waits = 0u64;
+    for ev in sink.events() {
+        if let EventKind::RouteWait { wants, .. } = &ev.kind {
+            waits += 1;
+            assert_eq!(wants.len(), 1, "XY has exactly one acceptable channel while blocked");
+        }
+    }
+    assert!(waits > 0, "load 0.5 must produce blocked cycles");
 }
 
 #[test]

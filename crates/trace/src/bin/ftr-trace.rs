@@ -1,0 +1,136 @@
+//! `ftr-trace` — analyse a JSONL trace stream.
+//!
+//! ```text
+//! ftr-trace <trace.jsonl> [--report <out.json>] [--top <n>]
+//!           [--no-diagnose] [--scan-period <n>] [--stale-window <n>]
+//!           [--min-blocked <n>] [--starvation-window <n>]
+//! ```
+//!
+//! Reads the trace (as written by `JsonlSink`; `-` for stdin), folds it
+//! into journeys, replays it through the online diagnoser, prints a
+//! human summary to stdout and, with `--report`, writes the
+//! machine-readable JSON report (validated before writing). Exits 1 on
+//! usage or I/O errors, 2 on a malformed trace line.
+
+use ftr_obs::json;
+use ftr_obs::{TraceEvent, TraceSink};
+use ftr_trace::{DiagnoserConfig, DiagnoserSink, JourneyBook, TraceReport};
+use std::io::{BufRead, BufReader, Read};
+use std::process::ExitCode;
+
+struct Args {
+    input: String,
+    report: Option<String>,
+    top: usize,
+    diagnose: bool,
+    cfg: DiagnoserConfig,
+}
+
+fn usage() -> String {
+    "usage: ftr-trace <trace.jsonl | -> [--report <out.json>] [--top <n>] \
+     [--no-diagnose] [--scan-period <n>] [--stale-window <n>] \
+     [--min-blocked <n>] [--starvation-window <n>]"
+        .to_string()
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut input = None;
+    let mut args = Args {
+        input: String::new(),
+        report: None,
+        top: 10,
+        diagnose: true,
+        cfg: DiagnoserConfig::default(),
+    };
+    fn num(it: &mut std::slice::Iter<'_, String>, name: &str) -> Result<u64, String> {
+        it.next()
+            .ok_or_else(|| format!("{name} needs a value"))?
+            .parse()
+            .map_err(|e| format!("bad {name}: {e}"))
+    }
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--report" => args.report = Some(it.next().ok_or("--report needs a path")?.clone()),
+            "--top" => args.top = num(&mut it, "--top")? as usize,
+            "--no-diagnose" => args.diagnose = false,
+            "--scan-period" => args.cfg.scan_period = num(&mut it, "--scan-period")?.max(1),
+            "--stale-window" => args.cfg.stale_window = num(&mut it, "--stale-window")?,
+            "--min-blocked" => args.cfg.min_blocked = num(&mut it, "--min-blocked")?,
+            "--starvation-window" => {
+                args.cfg.starvation_window = num(&mut it, "--starvation-window")?;
+            }
+            "-h" | "--help" => return Err(usage()),
+            other if input.is_none() && (!other.starts_with('-') || other == "-") => {
+                input = Some(other.to_string());
+            }
+            other => return Err(format!("unknown argument `{other}`\n{}", usage())),
+        }
+    }
+    args.input = input.ok_or_else(usage)?;
+    Ok(args)
+}
+
+fn run(args: &Args) -> Result<(TraceReport, u64), (u8, String)> {
+    let reader: Box<dyn Read> = if args.input == "-" {
+        Box::new(std::io::stdin())
+    } else {
+        Box::new(
+            std::fs::File::open(&args.input)
+                .map_err(|e| (1, format!("cannot open {}: {e}", args.input)))?,
+        )
+    };
+    let mut book = JourneyBook::new();
+    let diag = args.diagnose.then(|| DiagnoserSink::new(args.cfg));
+    let mut lines = 0u64;
+    for (i, line) in BufReader::new(reader).lines().enumerate() {
+        let line = line.map_err(|e| (1, format!("read error at line {}: {e}", i + 1)))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let ev = TraceEvent::from_json(&line)
+            .map_err(|e| (2, format!("malformed trace line {}: {e}", i + 1)))?;
+        book.fold(&ev);
+        if let Some(d) = &diag {
+            d.record(&ev);
+        }
+        lines += 1;
+    }
+    if let Some(d) = &diag {
+        // the trace may end inside a scan period; close it out
+        d.scan_now();
+    }
+    Ok((TraceReport::build(&book, diag.as_ref(), args.top), lines))
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(1);
+        }
+    };
+    let (report, lines) = match run(&args) {
+        Ok(r) => r,
+        Err((code, msg)) => {
+            eprintln!("ftr-trace: {msg}");
+            return ExitCode::from(code);
+        }
+    };
+    print!("{}", report.human_summary());
+    if let Some(path) = &args.report {
+        let payload = report.to_json();
+        if let Err(e) = json::validate(&payload) {
+            eprintln!("ftr-trace: internal error: report JSON invalid: {e}");
+            return ExitCode::from(1);
+        }
+        if let Err(e) = std::fs::write(path, payload + "\n") {
+            eprintln!("ftr-trace: cannot write {path}: {e}");
+            return ExitCode::from(1);
+        }
+        eprintln!("ftr-trace: report written to {path} ({lines} events)");
+    }
+    ExitCode::SUCCESS
+}

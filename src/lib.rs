@@ -2,9 +2,9 @@
 //!
 //! Umbrella crate re-exporting the workspace: topologies (`topo`), the
 //! cycle-level simulator (`sim`), the rule interpreter (`rules`), native
-//! routing algorithms (`algos`), the configuration pipeline (`core`), and
-//! the observability layer (`obs`). Most programs only need the
-//! [`prelude`].
+//! routing algorithms (`algos`), the configuration pipeline (`core`), the
+//! observability layer (`obs`), and trace analysis (`trace`). Most
+//! programs only need the [`prelude`].
 
 pub use ftr_algos as algos;
 pub use ftr_core as core;
@@ -12,6 +12,7 @@ pub use ftr_obs as obs;
 pub use ftr_rules as rules;
 pub use ftr_sim as sim;
 pub use ftr_topo as topo;
+pub use ftr_trace as trace;
 
 /// The types nearly every experiment touches, importable in one line:
 ///
@@ -40,4 +41,5 @@ pub mod prelude {
         SendError, SimConfig, SimStats, TrafficSource,
     };
     pub use ftr_topo::{FaultSet, Hypercube, Mesh2D, NodeId, PortId, Topology, VcId};
+    pub use ftr_trace::{DiagnoserConfig, DiagnoserSink, JourneyBook, TraceReport};
 }
