@@ -57,6 +57,29 @@ struct ControlDelivery {
     payload: Vec<i64>,
 }
 
+/// Reusable per-cycle scratch buffers.
+///
+/// Every phase of [`Network::step`] used to heap-allocate fresh working
+/// storage each cycle (the unroutable set, credit-return list, per-node
+/// `used` flags, the due control deliveries); keeping them on the network
+/// and clearing instead of dropping makes the per-cycle fixed cost
+/// allocation-free.
+#[derive(Default)]
+struct StepScratch {
+    /// The working set of the running step (node indices, ascending).
+    cur: Vec<u32>,
+    /// Messages declared unroutable by this cycle's routing decisions.
+    unroutable: HashSet<MessageId>,
+    /// Live messages whose flit was caught on a just-dead link.
+    dropped: HashSet<MessageId>,
+    /// Credits to return upstream after switch allocation.
+    credit_returns: Vec<(NodeId, PortId, usize)>,
+    /// Per-input-port "moved a flit this cycle" flags (reused per node).
+    used: Vec<bool>,
+    /// Control deliveries due this cycle.
+    due: Vec<ControlDelivery>,
+}
+
 /// Why [`Network::send`] rejected an injection.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum SendError {
@@ -328,6 +351,11 @@ impl NetworkBuilder {
             retry: self.retry,
             retries: VecDeque::new(),
             plan: self.plan,
+            active_mask: vec![false; n],
+            active_list: Vec::new(),
+            dense_reference: false,
+            last_moved: false,
+            scratch: StepScratch::default(),
         })
     }
 }
@@ -352,6 +380,19 @@ pub struct Network {
     retry: Option<RetryPolicy>,
     retries: VecDeque<RetryEntry>,
     plan: Option<FaultPlan>,
+    /// Active-set scheduling: `active_mask[n]` ⟺ node `n` is in
+    /// `active_list` ⟺ (between steps) node `n` has flit-bearing work.
+    /// Every flit source (injection, link traversal, retry re-injection)
+    /// marks its node; `step` iterates only the marked set.
+    active_mask: Vec<bool>,
+    active_list: Vec<u32>,
+    /// Retained dense-scan reference path: iterate every node in every
+    /// phase, exactly as the pre-active-set engine did. Differential tests
+    /// run it in lockstep against the active-set path.
+    dense_reference: bool,
+    /// Whether the most recent `step` moved any flit.
+    last_moved: bool,
+    scratch: StepScratch,
 }
 
 impl Network {
@@ -388,6 +429,42 @@ impl Network {
     /// Current cycle.
     pub fn cycle(&self) -> u64 {
         self.cycle
+    }
+
+    /// Switches `step` onto the dense-scan reference path (every phase
+    /// iterates every node, as the pre-active-set engine did). The two
+    /// paths are observably identical — same `SimStats`, same trace-event
+    /// stream, same per-cycle movement — which the lockstep differential
+    /// tests enforce; the dense path exists as that test's oracle and as a
+    /// debugging fallback. Switching is safe at any cycle boundary.
+    pub fn set_dense_reference(&mut self, on: bool) {
+        self.dense_reference = on;
+    }
+
+    /// Whether the most recent [`Network::step`] moved any flit (link
+    /// traversal, injection, ejection or switch). Differential tests
+    /// compare this per cycle across step paths.
+    pub fn last_step_moved(&self) -> bool {
+        self.last_moved
+    }
+
+    /// Nodes currently in the active set (ascending order; diagnostics).
+    pub fn active_nodes(&self) -> Vec<NodeId> {
+        let mut v: Vec<u32> = self.active_list.clone();
+        v.sort_unstable();
+        v.into_iter().map(NodeId).collect()
+    }
+
+    /// Marks a node as having flit-bearing work. Idempotent; every path
+    /// that hands a node a flit (injection, retry re-injection, link
+    /// traversal) must call this or the active-set scheduler would strand
+    /// the flit.
+    #[inline]
+    fn mark_active(&mut self, ni: usize) {
+        if !self.active_mask[ni] {
+            self.active_mask[ni] = true;
+            self.active_list.push(ni as u32);
+        }
     }
 
     /// The topology.
@@ -465,6 +542,7 @@ impl Network {
             m.injected.inc();
         }
         self.nodes[src.idx()].staging.extend(Flit::sequence(header));
+        self.mark_active(src.idx());
         Ok(id)
     }
 
@@ -837,7 +915,12 @@ impl Network {
                 }
             }
         }
-        for &id in ids {
+        // id order, not HashSet order: trace events and retry scheduling
+        // must not depend on per-instance hasher state (lockstep
+        // differential tests compare event streams across two networks)
+        let mut ordered: Vec<MessageId> = ids.iter().copied().collect();
+        ordered.sort_unstable();
+        for id in ordered {
             // retry policy: the ripped worm stays logically in flight (same
             // id, same first-attempt inject cycle) and re-enters at its
             // source after the backoff, as long as attempts remain
@@ -926,6 +1009,7 @@ impl Network {
             }
             let header = Header::new(r.id, meta.src, meta.dst, meta.len_flits);
             self.nodes[meta.src.idx()].staging.extend(Flit::sequence(header));
+            self.mark_active(meta.src.idx());
         }
     }
 
@@ -989,6 +1073,12 @@ impl Network {
     // -------------------------------------------------------------- step
 
     /// Advances the network one cycle.
+    ///
+    /// Every phase iterates the *active set* — the nodes holding staged,
+    /// buffered or in-register flits — instead of dense-scanning the whole
+    /// topology; see `DESIGN.md` §12 for the activation invariants. The
+    /// retained dense scan ([`Network::set_dense_reference`]) is observably
+    /// identical and serves as the differential-testing oracle.
     pub fn step(&mut self) {
         let topo = Arc::clone(&self.topo);
         let degree = topo.degree();
@@ -998,9 +1088,12 @@ impl Network {
         self.run_plan();
         self.run_retries();
 
-        // periodic buffer-occupancy sampling (only when metrics attached)
+        // periodic buffer-occupancy sampling (only when metrics attached);
+        // cycle 0 — before any traffic can have entered the network — is
+        // skipped so short runs don't skew the histogram's low bins with a
+        // guaranteed all-zero sample per node
         if let Some(m) = &self.metrics {
-            if self.cycle.is_multiple_of(OCCUPANCY_SAMPLE_PERIOD) {
+            if self.cycle != 0 && self.cycle.is_multiple_of(OCCUPANCY_SAMPLE_PERIOD) {
                 for node in &self.nodes {
                     m.buffer_occupancy.observe(node.buffered_flits() as u64);
                 }
@@ -1008,11 +1101,11 @@ impl Network {
         }
 
         // 1. control-plane deliveries due this cycle
-        let mut due = Vec::new();
+        let mut due = std::mem::take(&mut self.scratch.due);
         while self.control.front().is_some_and(|d| d.due <= self.cycle) {
             due.push(self.control.pop_front().expect("checked"));
         }
-        for d in due {
+        for d in due.drain(..) {
             if self.faults.node_faulty(d.to) {
                 continue;
             }
@@ -1021,9 +1114,23 @@ impl Network {
             let replies = self.ctrls[d.to.idx()].on_control(&view, d.from_port, &d.payload);
             self.enqueue_control(d.to, replies);
         }
+        self.scratch.due = due;
+
+        // the cycle's working set: ascending node order matches the dense
+        // scan, so phase iteration order — and thus arbitration and the
+        // trace-event stream — is independent of activation history
+        let mut cur = std::mem::take(&mut self.scratch.cur);
+        cur.clear();
+        if self.dense_reference {
+            cur.extend(0..self.nodes.len() as u32);
+        } else {
+            self.active_list.sort_unstable();
+            cur.append(&mut self.active_list);
+        }
 
         // 2. link traversal: output registers -> downstream input FIFOs
-        for ni in 0..self.nodes.len() {
+        for &ni in &cur {
+            let ni = ni as usize;
             let n = NodeId(ni as u32);
             for p in 0..degree {
                 let Some((vc, flit)) = self.nodes[ni].out_reg[p].take() else {
@@ -1031,25 +1138,36 @@ impl Network {
                 };
                 let port = PortId(p as u8);
                 if !self.faults.link_usable(topo.as_ref(), n, port) {
-                    // flit caught on a just-failed link: its message must
-                    // already be killed; dropping a live message's flit
-                    // would leak it
-                    debug_assert!(
-                        !self.stats.tracks(flit.msg),
-                        "flit of live message {:?} dropped on dead link {n}/{port}",
-                        flit.msg
-                    );
+                    // flit caught on a just-failed link. The fault injector
+                    // rips every worm touching a dying link, so the message
+                    // is normally already killed and untracked; if it IS
+                    // still live (a fault path that missed the worm),
+                    // dropping the flit silently would leak the message —
+                    // stats accounting would never balance and drain()
+                    // would hang. Kill it through the normal path instead.
+                    if self.stats.tracks(flit.msg) {
+                        self.stats.flits_dropped_on_dead_link += 1;
+                        self.scratch.dropped.insert(flit.msg);
+                    }
                     continue;
                 }
                 let m = topo.neighbor(n, port).expect("usable link");
                 let q = topo.port_towards(m, n).expect("reverse");
                 self.nodes[m.idx()].inputs[q.idx()][vc.idx()].fifo.push_back(flit);
+                self.mark_active(m.idx());
                 moved = true;
             }
         }
+        if !self.scratch.dropped.is_empty() {
+            let dropped = std::mem::take(&mut self.scratch.dropped);
+            self.kill_messages(&dropped, false);
+            self.scratch.dropped = dropped;
+            self.scratch.dropped.clear();
+        }
 
         // 3. injection: staging -> injection FIFO
-        for node in &mut self.nodes {
+        for &ni in &cur {
+            let node = &mut self.nodes[ni as usize];
             let inj = node.inputs.len() - 1;
             while !node.staging.is_empty()
                 && (node.inputs[inj][0].fifo.len() as u32) < self.cfg.buffer_depth
@@ -1060,28 +1178,40 @@ impl Network {
             }
         }
 
+        // nodes that received their first flit during link traversal must
+        // route and arbitrate it THIS cycle, exactly as the dense scan does
+        if !self.dense_reference && !self.active_list.is_empty() {
+            cur.append(&mut self.active_list);
+            cur.sort_unstable();
+        }
+
         // 4. routing decisions
-        let mut unroutable: HashSet<MessageId> = HashSet::new();
-        for ni in 0..self.nodes.len() {
-            let n = NodeId(ni as u32);
+        let mut unroutable = std::mem::take(&mut self.scratch.unroutable);
+        for &ni in &cur {
+            let n = NodeId(ni);
             if self.faults.node_faulty(n) {
                 continue;
             }
-            let nports = self.nodes[ni].inputs.len();
+            let nports = self.nodes[ni as usize].inputs.len();
             for ip in 0..nports {
-                for iv in 0..self.nodes[ni].inputs[ip].len() {
+                for iv in 0..self.nodes[ni as usize].inputs[ip].len() {
                     self.route_one(n, ip, iv, &mut unroutable);
                 }
             }
         }
         self.kill_messages(&unroutable, true);
+        unroutable.clear();
+        self.scratch.unroutable = unroutable;
 
         // 5. ejection + switch allocation
-        let mut credit_returns: Vec<(NodeId, PortId, usize)> = Vec::new();
-        for ni in 0..self.nodes.len() {
+        let mut credit_returns = std::mem::take(&mut self.scratch.credit_returns);
+        let mut used = std::mem::take(&mut self.scratch.used);
+        for &ni in &cur {
+            let ni = ni as usize;
             let n = NodeId(ni as u32);
             let nports = self.nodes[ni].inputs.len();
-            let mut used = vec![false; nports];
+            used.clear();
+            used.resize(nports, false);
 
             // ejection first (delivery has priority on the input port)
             for ip in 0..nports {
@@ -1188,12 +1318,15 @@ impl Network {
         }
 
         // apply credit returns to the upstream senders
-        for (n, p, iv) in credit_returns {
+        for &(n, p, iv) in &credit_returns {
             let Some(m) = topo.neighbor(n, p) else { continue };
             let q = topo.port_towards(m, n).expect("reverse");
             let c = &mut self.nodes[m.idx()].outputs[q.idx()][iv];
             c.credits = (c.credits + 1).min(self.cfg.buffer_depth);
         }
+        credit_returns.clear();
+        self.scratch.credit_returns = credit_returns;
+        self.scratch.used = used;
 
         // 6. watchdog (messages waiting out a retry backoff are in flight
         // but legitimately motionless — not a deadlock)
@@ -1204,6 +1337,30 @@ impl Network {
         {
             self.stats.deadlock = true;
         }
+        self.last_moved = moved;
+
+        // prune the active set: drop nodes whose work drained (delivered,
+        // killed, or every flit handed downstream). A node only re-enters
+        // through mark_active, so mask ⟺ list ⟺ has-work holds at every
+        // cycle boundary. The dense path rebuilds the bookkeeping exactly,
+        // keeping mode switches safe at any boundary.
+        if self.dense_reference {
+            // the dense scan ignores marks made during the step (send,
+            // link arrivals); its working set covers every node, so the
+            // rebuild below recreates mask and list from scratch
+            self.active_list.clear();
+        }
+        debug_assert!(self.active_list.is_empty());
+        for &ni in &cur {
+            let ni = ni as usize;
+            let w = self.nodes[ni].has_work();
+            self.active_mask[ni] = w;
+            if w {
+                self.active_list.push(ni as u32);
+            }
+        }
+        cur.clear();
+        self.scratch.cur = cur;
 
         self.cycle += 1;
     }
@@ -1872,5 +2029,133 @@ mod tests {
             }
         }
         assert!(net.stats.control_msgs > 20);
+    }
+
+    /// Regression for the silent flit-loss bug: a flit caught in an output
+    /// register when its link dies used to hit a `debug_assert!` only —
+    /// release builds dropped the flit on the floor and leaked the message
+    /// (accounting never balanced, `drain` hung). This exercises a fault
+    /// path that bypasses `inject_link_fault`'s worm ripping by flipping
+    /// the link directly in the fault set. Must pass in debug AND release.
+    #[test]
+    fn dead_link_flit_is_killed_not_silently_dropped() {
+        let topo = Arc::new(Mesh2D::new(4, 4));
+        let algo = Xy { mesh: (*topo).clone(), steps: 1 };
+        let sink = Arc::new(ftr_obs::RingSink::new(4096));
+        let mut net =
+            Network::builder(topo.clone()).trace(sink.clone()).build(&algo).expect("valid");
+        let id = net.send(topo.node_at(0, 1), topo.node_at(3, 1), 6).unwrap();
+        // advance until a flit of the worm sits on the (1,1)->(2,1) link
+        let hot = topo.node_at(1, 1);
+        for _ in 0..50 {
+            if net.nodes[hot.idx()].out_reg[EAST.idx()].is_some() {
+                break;
+            }
+            net.step();
+        }
+        assert!(net.nodes[hot.idx()].out_reg[EAST.idx()].is_some(), "worm must reach the link");
+        // rip the link out from under the engine without killing the worm
+        let t = Arc::clone(&net.topo);
+        net.faults.fail_link(t.as_ref(), hot, EAST);
+        net.step();
+        assert_eq!(net.stats.flits_dropped_on_dead_link, 1);
+        assert_eq!(net.stats.killed_msgs, 1, "message killed through the normal path");
+        assert!(!net.stats.tracks(id), "no leaked in-flight entry");
+        assert!(net.stats.accounting_balanced(), "balance must hold in every build profile");
+        let killed =
+            sink.events().iter().any(|e| matches!(e.kind, EventKind::Kill { msg } if msg == id.0));
+        assert!(killed, "kill event emitted");
+        assert!(net.drain(1_000), "engine still drains after the drop");
+        assert_eq!(net.in_flight(), 0);
+    }
+
+    #[test]
+    fn occupancy_sampling_skips_cycle_zero() {
+        let topo = Arc::new(Mesh2D::new(4, 4));
+        let algo = Xy { mesh: (*topo).clone(), steps: 1 };
+        // shorter than one period: no samples at all (cycle 0 used to
+        // contribute a guaranteed all-zero sample per node)
+        let registry = Arc::new(MetricsRegistry::new());
+        let mut net =
+            Network::builder(topo.clone()).metrics(registry.clone()).build(&algo).expect("valid");
+        for _ in 0..OCCUPANCY_SAMPLE_PERIOD {
+            net.step();
+        }
+        let snap = registry.histogram_snapshot("sim.buffer_occupancy").expect("registered");
+        assert_eq!(snap.count, 0, "no sample before the first full period");
+        // k cycles sample at p, 2p, ... floor(k/p) times, once per node
+        let registry = Arc::new(MetricsRegistry::new());
+        let mut net =
+            Network::builder(topo.clone()).metrics(registry.clone()).build(&algo).expect("valid");
+        let k = 2 * OCCUPANCY_SAMPLE_PERIOD + 1; // cycles 0..=2p run; p and 2p sample
+        for _ in 0..k {
+            net.step();
+        }
+        let snap = registry.histogram_snapshot("sim.buffer_occupancy").expect("registered");
+        assert_eq!(snap.count, 2 * topo.num_nodes() as u64);
+    }
+
+    #[test]
+    fn active_set_tracks_work_exactly() {
+        let (topo, mut net) = mesh_net(4, 1, SimConfig::default());
+        assert!(net.active_nodes().is_empty(), "idle network, empty set");
+        net.send(topo.node_at(0, 0), topo.node_at(3, 3), 4).unwrap();
+        assert_eq!(net.active_nodes(), vec![topo.node_at(0, 0)], "send activates the source");
+        assert!(net.drain(1_000));
+        assert!(net.active_nodes().is_empty(), "drained network, empty set again");
+        // the invariant holds mid-flight too: active ⟺ has_work
+        net.send(topo.node_at(1, 1), topo.node_at(3, 0), 8).unwrap();
+        for _ in 0..30 {
+            net.step();
+            for n in topo.nodes() {
+                let active = net.active_mask[n.idx()];
+                assert_eq!(active, net.nodes[n.idx()].has_work(), "node {n} at {}", net.cycle());
+            }
+        }
+    }
+
+    #[test]
+    fn active_set_matches_dense_reference_under_faults_and_retries() {
+        let mk = |dense: bool| {
+            let topo = Arc::new(Mesh2D::new(5, 5));
+            let algo = Xy { mesh: (*topo).clone(), steps: 2 };
+            let plan = FaultPlan::new().transient_link(40, NodeId(6), EAST, 80).transient_node(
+                100,
+                NodeId(12),
+                120,
+            );
+            let sink = Arc::new(ftr_obs::RingSink::new(1 << 16));
+            let mut net = Network::builder(topo.clone())
+                .fault_plan(plan)
+                .retry(RetryPolicy { max_attempts: 3, backoff_cycles: 10 })
+                .trace(sink.clone())
+                .build(&algo)
+                .expect("valid");
+            net.set_dense_reference(dense);
+            net.set_measuring(true);
+            (topo, net, sink)
+        };
+        let (topo, mut act, sink_a) = mk(false);
+        let (_, mut dense, sink_d) = mk(true);
+        let mut tf_a = TrafficSource::new(Pattern::Uniform, 0.15, 4, 9);
+        let mut tf_d = TrafficSource::new(Pattern::Uniform, 0.15, 4, 9);
+        for _ in 0..400 {
+            for (s, d, l) in tf_a.tick(topo.as_ref(), act.faults()) {
+                let _ = act.send(s, d, l);
+            }
+            for (s, d, l) in tf_d.tick(topo.as_ref(), dense.faults()) {
+                let _ = dense.send(s, d, l);
+            }
+            act.step();
+            dense.step();
+            assert_eq!(act.last_step_moved(), dense.last_step_moved(), "cycle {}", dense.cycle());
+        }
+        while (act.in_flight() > 0 || dense.in_flight() > 0) && act.cycle() < 10_000 {
+            act.step();
+            dense.step();
+        }
+        assert!(act.stats.injected_msgs > 100, "traffic actually flowed");
+        assert_eq!(act.stats, dense.stats, "bit-identical stats");
+        assert_eq!(sink_a.events(), sink_d.events(), "bit-identical trace streams");
     }
 }

@@ -127,6 +127,17 @@ impl RouterNode {
         inp + reg
     }
 
+    /// Whether this node has any flit-bearing work for the engine: flits
+    /// staged for injection, buffered in an input FIFO, or sitting in an
+    /// output register. This is the activation predicate of the network's
+    /// active-set scheduler — a node without work is skipped by every
+    /// phase of [`crate::Network::step`] with no observable difference.
+    pub fn has_work(&self) -> bool {
+        !self.staging.is_empty()
+            || self.out_reg.iter().any(|r| r.is_some())
+            || self.inputs.iter().flatten().any(|vc| !vc.fifo.is_empty())
+    }
+
     /// Whether any output VC of `port` is allocatable (idle + credit).
     pub fn out_channel_free(&self, port: usize, vc: usize) -> bool {
         let o = &self.outputs[port][vc];

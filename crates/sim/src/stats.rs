@@ -6,7 +6,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Per-message bookkeeping.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct MsgMeta {
     /// Cycle the message was handed to the source node (the *first*
     /// attempt when the retry policy re-injects — end-to-end latency spans
@@ -66,7 +66,11 @@ impl Accum {
 }
 
 /// Aggregated results of one simulation.
-#[derive(Clone, Debug, Default)]
+///
+/// `PartialEq` compares every field including the in-flight bookkeeping —
+/// the lockstep differential tests use it to prove the active-set and
+/// dense-scan step paths bit-identical.
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct SimStats {
     /// Messages handed to source nodes.
     pub injected_msgs: u64,
@@ -90,6 +94,12 @@ pub struct SimStats {
     /// Injections rejected at `send` because an endpoint was faulty (never
     /// entered the network; excluded from `injected_msgs`).
     pub rejected_sends: u64,
+    /// Flits of still-live messages caught in the output register of a
+    /// link that died without the fault injector ripping their worm. Each
+    /// such message is killed through the normal kill path (counted in
+    /// `killed_msgs`, `Kill` trace event) instead of leaking; a non-zero
+    /// value flags a fault injector that missed a worm.
+    pub flits_dropped_on_dead_link: u64,
     /// Latency of measured messages (inject → tail ejected), cycles.
     pub latency: Accum,
     /// Hops of measured messages.

@@ -6,9 +6,28 @@
 //! results are reproducible regardless of scheduling).
 
 use crossbeam::thread;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Best-effort rendering of a panic payload (panics carry `&str` or
+/// `String` in practice; anything else gets a placeholder).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
 
 /// Runs `job` for every element of `inputs` in parallel (bounded by
 /// `max_threads`) and returns the results in input order.
+///
+/// Each job runs under `catch_unwind`, so one panicking input no longer
+/// aborts the whole scope with an anonymous "sweep worker panicked": every
+/// remaining job still runs, and the collected failures are re-raised as a
+/// single panic naming each failing input index and its payload — campaign
+/// failures are attributable to the exact (parameter, seed) cell.
 pub fn run_sweep<I, O, F>(inputs: Vec<I>, max_threads: usize, job: F) -> Vec<O>
 where
     I: Send + Sync,
@@ -23,10 +42,12 @@ where
     // one lock per output slot: writers never contend with each other (each
     // index is claimed by exactly one worker), unlike a single global mutex
     // around the whole result vector which serialises every store
-    let slots: Vec<parking_lot::Mutex<Option<O>>> =
+    let slots: Vec<parking_lot::Mutex<Option<std::thread::Result<O>>>> =
         (0..n).map(|_| parking_lot::Mutex::new(None)).collect();
 
     // hand out (index, input) pairs through a shared atomic cursor
+    // (Relaxed is enough: fetch_add is an atomic RMW, so every index is
+    // claimed exactly once, and the scope join publishes the slot writes)
     let cursor = std::sync::atomic::AtomicUsize::new(0);
     let inputs_ref = &inputs;
     let job_ref = &job;
@@ -39,14 +60,28 @@ where
                 if i >= n {
                     break;
                 }
-                let out = job_ref(&inputs_ref[i]);
+                let out = catch_unwind(AssertUnwindSafe(|| job_ref(&inputs_ref[i])));
                 *slots_ref[i].lock() = Some(out);
             });
         }
     })
-    .expect("sweep worker panicked");
+    .expect("sweep worker panicked outside a job");
 
-    slots.into_iter().map(|c| c.into_inner().expect("all slots filled")).collect()
+    let mut outs = Vec::with_capacity(n);
+    let mut failures: Vec<(usize, String)> = Vec::new();
+    for (i, slot) in slots.into_iter().enumerate() {
+        match slot.into_inner() {
+            Some(Ok(o)) => outs.push(o),
+            Some(Err(payload)) => failures.push((i, panic_message(payload.as_ref()))),
+            None => failures.push((i, "slot never ran".to_string())),
+        }
+    }
+    if !failures.is_empty() {
+        let list: Vec<String> =
+            failures.iter().map(|(i, m)| format!("input index {i}: {m}")).collect();
+        panic!("sweep: {} of {n} jobs panicked — {}", failures.len(), list.join("; "));
+    }
+    outs
 }
 
 /// Default sweep parallelism: the machine's logical CPU count.
@@ -80,5 +115,49 @@ mod tests {
     fn more_threads_than_items() {
         let out = run_sweep(vec![7], 64, |&x: &i32| x);
         assert_eq!(out, vec![7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "input index 7")]
+    fn panicking_job_is_attributed_to_its_input_index() {
+        run_sweep((0..16).collect(), 4, |&x: &i32| {
+            if x == 7 {
+                panic!("bad cell");
+            }
+            x
+        });
+    }
+
+    #[test]
+    fn panic_message_names_every_failure_and_payload() {
+        let res = catch_unwind(AssertUnwindSafe(|| {
+            run_sweep((0..8).collect(), 2, |&x: &i32| {
+                if x % 4 == 1 {
+                    panic!("seed {x} diverged");
+                }
+                x
+            })
+        }));
+        let msg = panic_message(res.expect_err("must propagate").as_ref());
+        assert!(msg.contains("2 of 8 jobs panicked"), "got: {msg}");
+        assert!(msg.contains("input index 1: seed 1 diverged"), "got: {msg}");
+        assert!(msg.contains("input index 5: seed 5 diverged"), "got: {msg}");
+    }
+
+    #[test]
+    fn surviving_jobs_still_run_when_one_panics() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let ran = AtomicUsize::new(0);
+        let res = catch_unwind(AssertUnwindSafe(|| {
+            run_sweep((0..32).collect(), 4, |&x: &i32| {
+                ran.fetch_add(1, Ordering::Relaxed);
+                if x == 0 {
+                    panic!("early failure");
+                }
+                x
+            })
+        }));
+        assert!(res.is_err());
+        assert_eq!(ran.load(Ordering::Relaxed), 32, "a panic must not cancel the sweep");
     }
 }

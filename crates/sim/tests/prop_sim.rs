@@ -3,7 +3,7 @@
 
 use ftr_sim::flit::Header;
 use ftr_sim::routing::{Decision, NodeController, RouterView, RoutingAlgorithm, Verdict};
-use ftr_sim::{Network, Pattern, SimConfig, TrafficSource};
+use ftr_sim::{FaultAction, FaultPlan, Network, Pattern, RetryPolicy, SimConfig, TrafficSource};
 use ftr_topo::{Mesh2D, NodeId, PortId, Topology, VcId, EAST, NORTH, SOUTH, WEST};
 use proptest::prelude::*;
 use std::sync::Arc;
@@ -181,5 +181,64 @@ proptest! {
         prop_assert!((s.throughput() - expect).abs() < 1e-12);
         // accepted throughput can exceed offered only by rounding noise
         prop_assert!(s.throughput() <= rate * 1.8 + 0.05);
+    }
+
+    /// Active-set scheduling is observationally identical to the dense
+    /// scan under arbitrary scripted fault/repair sequences with source
+    /// retransmission: same stats, same per-cycle movement — and the run
+    /// never strands work (drains once the plan is exhausted).
+    #[test]
+    fn active_matches_dense_under_random_fault_scripts(
+        seed in 0u64..500,
+        rate in 0.02f64..0.2,
+        script in proptest::collection::vec(
+            (10u64..300, 0u32..16, 0u8..4, 20u64..150), 0..6),
+        retry_arm in 0u8..2,
+    ) {
+        let retry = retry_arm == 1;
+        let mesh = Mesh2D::new(4, 4);
+        // random fault-plan script: transient link faults at random spots
+        let mut plan = FaultPlan::new();
+        for &(cycle, node, dir, repair) in &script {
+            plan.push(cycle, FaultAction::FailLink(NodeId(node), PortId(dir)));
+            plan.push(cycle + repair, FaultAction::RepairLink(NodeId(node), PortId(dir)));
+        }
+        let mk = |dense: bool| {
+            let mut b = Network::builder(Arc::new(mesh.clone())).fault_plan(plan.clone());
+            if retry {
+                b = b.retry(RetryPolicy { max_attempts: 4, backoff_cycles: 24 });
+            }
+            let mut net = b.build(&Xy(mesh.clone())).expect("valid config");
+            net.set_dense_reference(dense);
+            net
+        };
+        let mut act = mk(false);
+        let mut dense = mk(true);
+        let mut tf_a = TrafficSource::new(Pattern::Uniform, rate, 4, seed);
+        let mut tf_d = TrafficSource::new(Pattern::Uniform, rate, 4, seed);
+        for _ in 0..500u64 {
+            for (s, d, l) in tf_a.tick(&mesh, act.faults()) {
+                let _ = act.send(s, d, l);
+            }
+            for (s, d, l) in tf_d.tick(&mesh, dense.faults()) {
+                let _ = dense.send(s, d, l);
+            }
+            act.step();
+            dense.step();
+            prop_assert_eq!(
+                act.last_step_moved(), dense.last_step_moved(),
+                "moved diverged at cycle {}", dense.cycle()
+            );
+        }
+        // no node is ever stranded: every remaining worm either finishes or
+        // is resolved (XY marks fault-blocked messages unroutable; retries
+        // are bounded), so a generous budget must always drain both
+        prop_assert!(act.drain(100_000), "active path stranded work");
+        prop_assert!(dense.drain(100_000), "dense path stranded work");
+        prop_assert_eq!(&act.stats, &dense.stats);
+        prop_assert!(act.stats.accounting_balanced());
+        prop_assert_eq!(act.in_flight(), 0);
+        // and once idle, the active set is empty — no ghost activations
+        prop_assert!(act.active_nodes().is_empty());
     }
 }

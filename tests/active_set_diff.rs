@@ -1,0 +1,165 @@
+//! Lockstep differential test: active-set scheduling vs the dense
+//! reference scan.
+//!
+//! `Network::step` normally iterates only nodes with work (the active
+//! set); `set_dense_reference(true)` retains the original every-node scan.
+//! The two paths must be indistinguishable to any observer: bit-identical
+//! `SimStats`, bit-identical trace-event streams, and the same per-cycle
+//! `moved` flag. This runs the E15 campaign shape — retrying NAFTA on a
+//! faulty 6x6 mesh — across a (retry x fault-count x seed) matrix, plus a
+//! ROUTE_C 4-cube arm, advancing both networks in lockstep.
+
+use ftrouter::prelude::*;
+use std::sync::Arc;
+
+struct Pair {
+    act: Network,
+    dense: Network,
+    act_sink: Arc<RingSink>,
+    dense_sink: Arc<RingSink>,
+    act_tf: TrafficSource,
+    dense_tf: TrafficSource,
+    topo: Arc<dyn Topology>,
+}
+
+impl Pair {
+    fn lockstep(&mut self, cycles: u64, label: &str) {
+        for _ in 0..cycles {
+            for (s, d, l) in self.act_tf.tick(self.topo.as_ref(), self.act.faults()) {
+                let _ = self.act.send(s, d, l);
+            }
+            for (s, d, l) in self.dense_tf.tick(self.topo.as_ref(), self.dense.faults()) {
+                let _ = self.dense.send(s, d, l);
+            }
+            self.act.step();
+            self.dense.step();
+            assert_eq!(
+                self.act.last_step_moved(),
+                self.dense.last_step_moved(),
+                "{label}: moved flag diverged at cycle {}",
+                self.dense.cycle()
+            );
+        }
+    }
+
+    fn finish(mut self, label: &str) {
+        // drain both (bounded: unroutable+no-retry arms can strand nothing,
+        // but a diverging pair must not hang the suite)
+        let mut budget = 30_000u64;
+        while (self.act.in_flight() > 0 || self.dense.in_flight() > 0) && budget > 0 {
+            self.act.step();
+            self.dense.step();
+            assert_eq!(
+                self.act.last_step_moved(),
+                self.dense.last_step_moved(),
+                "{label}: moved flag diverged at cycle {}",
+                self.dense.cycle()
+            );
+            budget -= 1;
+        }
+        assert_eq!(self.act.stats, self.dense.stats, "{label}: SimStats diverged");
+        assert_eq!(
+            self.act_sink.events(),
+            self.dense_sink.events(),
+            "{label}: trace streams diverged"
+        );
+        assert!(self.act.stats.accounting_balanced(), "{label}: unbalanced accounting");
+        assert!(self.act.stats.injected_msgs > 0, "{label}: no traffic flowed");
+    }
+}
+
+fn nafta_pair(retry: bool, faults: usize, seed: u64, load: f64) -> Pair {
+    let mesh = Mesh2D::new(6, 6);
+    let mk = |dense: bool| {
+        let plan = FaultPlan::random_transient_links(&mesh, faults, 100..700, 150, seed);
+        let sink = Arc::new(RingSink::new(1 << 17));
+        let mut b = Network::builder(Arc::new(mesh.clone())).fault_plan(plan).trace(sink.clone());
+        if retry {
+            b = b.retry(RetryPolicy { max_attempts: 6, backoff_cycles: 48 });
+        }
+        let mut net = b.build(&Nafta::new(mesh.clone())).expect("valid config");
+        net.set_dense_reference(dense);
+        net.set_measuring(true);
+        (net, sink)
+    };
+    let (act, act_sink) = mk(false);
+    let (dense, dense_sink) = mk(true);
+    Pair {
+        act,
+        dense,
+        act_sink,
+        dense_sink,
+        act_tf: TrafficSource::new(Pattern::Uniform, load, 8, seed ^ 0xbeef),
+        dense_tf: TrafficSource::new(Pattern::Uniform, load, 8, seed ^ 0xbeef),
+        topo: Arc::new(mesh),
+    }
+}
+
+#[test]
+fn nafta_campaign_matrix_is_lockstep_identical() {
+    for retry in [false, true] {
+        for faults in [0usize, 8, 16] {
+            for seed in [11u64, 29] {
+                let label = format!("nafta retry={retry} faults={faults} seed={seed}");
+                let mut pair = nafta_pair(retry, faults, seed, 0.08);
+                pair.lockstep(900, &label);
+                pair.finish(&label);
+            }
+        }
+    }
+}
+
+#[test]
+fn route_c_hypercube_is_lockstep_identical() {
+    let cube = Hypercube::new(4);
+    let mk = |dense: bool| {
+        let plan = FaultPlan::random_transient_links(&cube, 4, 80..500, 120, 7);
+        let sink = Arc::new(RingSink::new(1 << 17));
+        let mut net = Network::builder(Arc::new(cube.clone()))
+            .fault_plan(plan)
+            .retry(RetryPolicy { max_attempts: 4, backoff_cycles: 32 })
+            .trace(sink.clone())
+            .build(&RouteC::new(cube.clone()))
+            .expect("valid config");
+        net.set_dense_reference(dense);
+        net.set_measuring(true);
+        (net, sink)
+    };
+    let (act, act_sink) = mk(false);
+    let (dense, dense_sink) = mk(true);
+    let mut pair = Pair {
+        act,
+        dense,
+        act_sink,
+        dense_sink,
+        act_tf: TrafficSource::new(Pattern::Uniform, 0.1, 6, 1234),
+        dense_tf: TrafficSource::new(Pattern::Uniform, 0.1, 6, 1234),
+        topo: Arc::new(cube),
+    };
+    pair.lockstep(700, "route_c 4-cube");
+    pair.finish("route_c 4-cube");
+}
+
+#[test]
+fn mode_switch_at_any_boundary_is_safe() {
+    // flipping between dense and active mid-run must not lose work: the
+    // dense step rebuilds the activation bookkeeping exactly
+    let mesh = Mesh2D::new(5, 5);
+    let mut net = Network::builder(Arc::new(mesh.clone()))
+        .build(&Nafta::new(mesh.clone()))
+        .expect("valid config");
+    let mut tf = TrafficSource::new(Pattern::Uniform, 0.12, 6, 99);
+    let topo: Arc<dyn Topology> = Arc::new(mesh);
+    for cycle in 0..600u64 {
+        net.set_dense_reference(cycle % 7 < 3); // flip modes on a weird period
+        for (s, d, l) in tf.tick(topo.as_ref(), net.faults()) {
+            let _ = net.send(s, d, l);
+        }
+        net.step();
+    }
+    net.set_dense_reference(false);
+    assert!(net.drain(30_000), "must drain after arbitrary mode flips");
+    assert!(net.stats.accounting_balanced());
+    assert!(net.stats.delivered_msgs > 100);
+    assert_eq!(net.stats.delivered_msgs, net.stats.injected_msgs, "healthy mesh loses nothing");
+}
