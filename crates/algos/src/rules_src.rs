@@ -23,6 +23,12 @@ pub const ROUTE_C: &str = include_str!("../rules/route_c.rules");
 /// The stripped non-fault-tolerant ROUTE_C variant.
 pub const ROUTE_C_NFT: &str = include_str!("../rules/route_c_nft.rules");
 
+/// Naive fully-adaptive minimal routing on one virtual channel — the
+/// classic deadlock/livelock baseline (any free minimal direction, no
+/// turn restriction). Negative exemplar for the deadlock verifier and
+/// the FTR013 progress lint.
+pub const NAIVE_ADAPTIVE: &str = include_str!("../rules/naive_adaptive.rules");
+
 /// Parses one of the shipped programs (they are tested to parse; this
 /// returns `Result` so callers can reuse it for user-supplied sources).
 pub fn parse_program(src: &str) -> Result<Program> {
@@ -37,6 +43,7 @@ pub fn all() -> Vec<(&'static str, &'static str)> {
         ("nafta", NAFTA),
         ("route_c", ROUTE_C),
         ("route_c_nft", ROUTE_C_NFT),
+        ("naive_adaptive", NAIVE_ADAPTIVE),
     ]
 }
 

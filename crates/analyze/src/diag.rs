@@ -62,6 +62,26 @@ pub enum LintCode {
     /// different values — the parallel-execution semantics of §4.2 make
     /// this a runtime error.
     ParallelWriteConflict,
+    /// FTR009: the abstract-interpretation engine proves a rule's guard
+    /// unsatisfiable over the value domains (interval/mask/set) even
+    /// though the propositional table lints (FTR001/FTR002) cannot see
+    /// it — e.g. `n < 2 AND n > 5` over two independent feature bits.
+    AbsintUnreachable,
+    /// FTR010: a rule's guard semantically entails an earlier rule's
+    /// guard, so source-order conflict resolution means the later rule
+    /// can never win even though the table shows applicable entries.
+    SemanticShadow,
+    /// FTR011: a register provably holds a single value at every
+    /// decision point under the program's own writes (host writes are
+    /// the optimizer's concern, so this stays a note).
+    ConstantRegister,
+    /// FTR012: an atom inside a reachable rule's guard has a forced
+    /// truth value under the declared domains and topology facts.
+    ConstantAtom,
+    /// FTR013: the progress lint — either a concrete livelock witness
+    /// (a message ring that can wait on itself forever under legal
+    /// `free`/`linkok` inputs) or an inconclusive screen result.
+    ProgressViolation,
 }
 
 impl LintCode {
@@ -76,6 +96,11 @@ impl LintCode {
             LintCode::UnusedRegister => "FTR006_unused_register",
             LintCode::UnusedInput => "FTR007_unused_input",
             LintCode::ParallelWriteConflict => "FTR008_parallel_write_conflict",
+            LintCode::AbsintUnreachable => "FTR009_absint_unreachable",
+            LintCode::SemanticShadow => "FTR010_semantic_shadow",
+            LintCode::ConstantRegister => "FTR011_constant_register",
+            LintCode::ConstantAtom => "FTR012_constant_atom",
+            LintCode::ProgressViolation => "FTR013_progress",
         }
     }
 }

@@ -13,16 +13,32 @@
 //!   `ftr_topo::cdg` and proves channel-dependency-graph acyclicity by
 //!   exhaustion over destinations and enumerated fault sets, reporting a
 //!   concrete cycle witness on failure.
+//! * **Layer 3 — the abstract-interpretation engine** ([`absint`]): a
+//!   forward dataflow analysis over interval/mask/set domains that sees
+//!   through the table compiler's propositional abstraction. It powers
+//!   the semantic lints FTR009–FTR012, the progress lint FTR013
+//!   ([`progress`]) and the certified table optimizer ([`opt`]), whose
+//!   machine-checkable [`opt::OptCert`] re-validates every rewrite
+//!   against independently recomputed facts.
 //!
-//! The `ftr-lint` binary exposes both layers on the command line.
+//! The `ftr-lint` binary exposes all layers on the command line.
 
+pub mod absint;
 pub mod deadlock;
 pub mod diag;
 pub mod lints;
+pub mod opt;
+pub mod progress;
 
+pub use absint::{analyze_program, AbsEnv, AbsVal, Facts, Monotonicity, TopoFacts};
 pub use deadlock::{
     verify_cube, verify_mesh, CubeProgramLift, CycleWitness, DeadlockReport, MeshProgramLift,
     MeshVcMode,
 };
 pub use diag::{Diagnostic, LintCode, Severity};
-pub use lints::{analyze_compiled, analyze_source, Analysis};
+pub use lints::{
+    analyze_compiled, analyze_compiled_with, analyze_source, analyze_source_with, Analysis,
+    LintOptions,
+};
+pub use opt::{optimize_rulebase, OptCert, OptOptions, Optimized, Rewrite};
+pub use progress::{check_progress, ProgressReport, ProgressVerdict};

@@ -12,12 +12,26 @@
 //!   integer ranges and defers the range check to runtime), FTR006/FTR007
 //!   unused registers/inputs, FTR008 conflicting parallel writes.
 
+use crate::absint::{self, TopoFacts};
 use crate::diag::{Diagnostic, LintCode, Severity};
+use crate::progress;
 use ftr_rules::ast::{Builtin, Command, Expr, IndexedRef, Program, Ref, Rule, RuleBase};
 use ftr_rules::compile::CompileWarning;
 use ftr_rules::error::Result;
+use ftr_rules::pretty::describe_expr;
 use ftr_rules::value::{Type, Value};
 use ftr_rules::{compile, parse, CompileOptions, CompiledProgram};
+
+/// Which optional analysis layers to run on top of the base lints.
+#[derive(Clone, Debug, Default)]
+pub struct LintOptions {
+    /// Run the abstract-interpretation engine (FTR009–FTR012).
+    pub absint: bool,
+    /// Run the progress lint (FTR013); implies the engine's facts.
+    pub progress: bool,
+    /// Topology invariants seeded into the engine.
+    pub topo: TopoFacts,
+}
 
 /// The result of analyzing one program: the compiled artefact (reusable by
 /// the deadlock verifier) plus every linter finding.
@@ -51,19 +65,194 @@ impl Analysis {
 /// Parses, compiles and lints a rule program. Parse/compile failures are
 /// hard errors (the program is broken before linting can start).
 pub fn analyze_source(name: &str, src: &str) -> Result<Analysis> {
-    let prog = parse(src)?;
-    let compiled = compile(&prog, &CompileOptions::default())?;
-    Ok(analyze_compiled(name, compiled))
+    analyze_source_with(name, src, &LintOptions::default())
 }
 
-/// Lints an already-compiled program.
+/// [`analyze_source`] with the optional layers enabled per `opts`.
+pub fn analyze_source_with(name: &str, src: &str, opts: &LintOptions) -> Result<Analysis> {
+    let prog = parse(src)?;
+    let compiled = compile(&prog, &CompileOptions::default())?;
+    Ok(analyze_compiled_with(name, compiled, opts))
+}
+
+/// Lints an already-compiled program (base lints only).
 pub fn analyze_compiled(name: &str, compiled: CompiledProgram) -> Analysis {
+    analyze_compiled_with(name, compiled, &LintOptions::default())
+}
+
+/// Lints an already-compiled program with the optional layers per `opts`.
+pub fn analyze_compiled_with(
+    name: &str,
+    compiled: CompiledProgram,
+    opts: &LintOptions,
+) -> Analysis {
     let mut diags = Vec::new();
     table_lints(name, &compiled, &mut diags);
     domain_lints(name, &compiled.prog, &mut diags);
     usage_lints(name, &compiled.prog, &mut diags);
     parallel_write_lints(name, &compiled.prog, &mut diags);
+    if opts.absint || opts.progress {
+        let facts = absint::analyze_program(&compiled, &opts.topo);
+        if opts.absint {
+            // paranoid re-run with every register treated as host-written:
+            // findings that survive it hold under the declared domains
+            // alone (warning); findings that need INIT-derived register
+            // facts could be upset by a host write (note)
+            let paranoid_topo = TopoFacts {
+                host_written: compiled.prog.vars.iter().map(|v| v.name.clone()).collect(),
+                ..opts.topo.clone()
+            };
+            let paranoid = absint::analyze_program(&compiled, &paranoid_topo);
+            absint_lints(name, &compiled, &facts, &paranoid, &mut diags);
+        }
+        if opts.progress {
+            progress_lints(name, &compiled, &opts.topo, &mut diags);
+        }
+    }
     Analysis { name: name.to_string(), compiled, diagnostics: diags }
+}
+
+/// FTR009–FTR012 from the abstract-interpretation facts. Rules the
+/// propositional table lints already flagged (FTR001/FTR002) are skipped:
+/// the engine's findings strictly extend them.
+fn absint_lints(
+    name: &str,
+    compiled: &CompiledProgram,
+    facts: &absint::Facts,
+    paranoid: &absint::Facts,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let prog = &compiled.prog;
+    for (bi, cb) in compiled.bases.iter().enumerate() {
+        let rb = &prog.rulebases[cb.rb];
+        let mut wins = vec![0u64; rb.rules.len()];
+        for &e in &cb.table {
+            if e != 0 {
+                wins[e as usize - 1] += 1;
+            }
+        }
+        for (ri, rule) in rb.rules.iter().enumerate() {
+            // already covered by FTR001/FTR002
+            if cb.rule_applicable[ri] == 0 || wins[ri] == 0 {
+                continue;
+            }
+            if let Some(i) = facts.entailed_by[bi][ri] {
+                // domain-only shadows are defects; shadows that rely on
+                // INIT-derived register facts are redundancy a host write
+                // could activate — the optimizer's business, not a bug
+                let domain_only = paranoid.entailed_by[bi][ri].is_some();
+                diags.push(Diagnostic {
+                    code: LintCode::SemanticShadow,
+                    severity: if domain_only { Severity::Warning } else { Severity::Note },
+                    program: name.into(),
+                    pos: Some(rule.pos),
+                    rulebase: Some(rb.name.clone()),
+                    message: format!(
+                        "rule {} is semantically shadowed: whenever its guard holds, \
+                         rule {}'s guard provably holds too, and source order picks \
+                         rule {} (the table alone cannot see this){}",
+                        ri + 1,
+                        i + 1,
+                        i + 1,
+                        if domain_only {
+                            ""
+                        } else {
+                            " — the proof uses register-value facts a host write \
+                             could invalidate"
+                        }
+                    ),
+                });
+            } else if !facts.reachable[bi][ri] {
+                let domain_only = !paranoid.reachable[bi][ri];
+                diags.push(Diagnostic {
+                    code: LintCode::AbsintUnreachable,
+                    severity: if domain_only { Severity::Warning } else { Severity::Note },
+                    program: name.into(),
+                    pos: Some(rule.pos),
+                    rulebase: Some(rb.name.clone()),
+                    message: format!(
+                        "rule {} is unreachable: abstract interpretation over the \
+                         value domains proves its guard (with all earlier guards \
+                         negated) unsatisfiable{}",
+                        ri + 1,
+                        if domain_only {
+                            ""
+                        } else {
+                            " — the proof uses register-value facts a host write \
+                             could invalidate"
+                        }
+                    ),
+                });
+            }
+        }
+        for ca in &facts.const_atoms[bi] {
+            diags.push(Diagnostic {
+                code: LintCode::ConstantAtom,
+                severity: Severity::Note,
+                program: name.into(),
+                pos: Some(rb.rules[ca.rule].pos),
+                rulebase: Some(rb.name.clone()),
+                message: format!(
+                    "in rule {}, the atom `{}` is always {} under the declared \
+                     domains — it costs a feature bit without discriminating",
+                    ca.rule + 1,
+                    describe_expr(prog, rb, &ca.atom),
+                    ca.truth
+                ),
+            });
+        }
+    }
+    for (v, decl) in prog.vars.iter().enumerate() {
+        if let Some(val) = &facts.const_regs[v] {
+            diags.push(Diagnostic {
+                code: LintCode::ConstantRegister,
+                severity: Severity::Note,
+                program: name.into(),
+                pos: Some(decl.pos),
+                rulebase: None,
+                message: format!(
+                    "register `{}` provably holds {} at every decision point under \
+                     the program's own writes (the optimizer may specialize it \
+                     unless the host writes it)",
+                    decl.name,
+                    prog.display_value(val)
+                ),
+            });
+        }
+    }
+}
+
+/// FTR013 from the progress checker.
+fn progress_lints(
+    name: &str,
+    compiled: &CompiledProgram,
+    topo: &TopoFacts,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let report = progress::check_progress(compiled, topo);
+    match report.verdict {
+        progress::ProgressVerdict::Proved | progress::ProgressVerdict::NotApplicable => {}
+        progress::ProgressVerdict::Livelock => {
+            diags.push(Diagnostic {
+                code: LintCode::ProgressViolation,
+                severity: Severity::Warning,
+                program: name.into(),
+                pos: None,
+                rulebase: report.rulebase.clone(),
+                message: report.describe(),
+            });
+        }
+        progress::ProgressVerdict::Inconclusive => {
+            diags.push(Diagnostic {
+                code: LintCode::ProgressViolation,
+                severity: Severity::Note,
+                program: name.into(),
+                pos: None,
+                rulebase: report.rulebase.clone(),
+                message: report.describe(),
+            });
+        }
+    }
 }
 
 /// FTR001/002/003/004 from the compiled tables and collected warnings.
@@ -109,7 +298,12 @@ fn table_lints(name: &str, compiled: &CompiledProgram, diags: &mut Vec<Diagnosti
         }
         for w in &cb.warnings {
             match *w {
-                CompileWarning::Conflict { winner, loser, entries } => {
+                CompileWarning::Conflict { winner, loser, kind, entries } => {
+                    let what = match kind {
+                        ftr_rules::ConflictKind::Return => "return values",
+                        ftr_rules::ConflictKind::Register => "register writes",
+                        ftr_rules::ConflictKind::Emit => "emitted events",
+                    };
                     diags.push(Diagnostic {
                         code: LintCode::RuleConflict,
                         severity: Severity::Note,
@@ -118,7 +312,7 @@ fn table_lints(name: &str, compiled: &CompiledProgram, diags: &mut Vec<Diagnosti
                         rulebase: Some(rb.name.clone()),
                         message: format!(
                             "rules {} and {} both apply at {} feature-space entries \
-                             with different conclusions; source order silently picks \
+                             with different {what}; source order silently picks \
                              rule {}",
                             winner + 1,
                             loser + 1,

@@ -1,0 +1,144 @@
+//! The abstract-interpretation lints (FTR009–FTR013) over the shipped
+//! rule programs: the production routers must come out clean, and the
+//! naive fully-adaptive baseline must produce a concrete livelock
+//! counterexample.
+
+use ftr_analyze::{
+    analyze_source_with, check_progress, LintCode, LintOptions, ProgressVerdict, Severity,
+    TopoFacts,
+};
+use ftr_rules::{compile, parse, CompileOptions};
+
+fn full_opts() -> LintOptions {
+    LintOptions { absint: true, progress: true, topo: TopoFacts::mesh(8, 8) }
+}
+
+#[test]
+fn production_programs_are_clean_under_the_absint_lints() {
+    for (name, src) in ftr_algos::rules_src::all() {
+        if name == "naive_adaptive" {
+            continue; // the deliberate negative exemplar, tested below
+        }
+        let a =
+            analyze_source_with(name, src, &full_opts()).unwrap_or_else(|e| panic!("{name}: {e}"));
+        for code in
+            [LintCode::AbsintUnreachable, LintCode::SemanticShadow, LintCode::ProgressViolation]
+        {
+            let hits = a.with_code(code);
+            let loud: Vec<_> = hits.iter().filter(|d| d.severity >= Severity::Warning).collect();
+            assert!(
+                loud.is_empty(),
+                "{name}: unexpected {} findings at warning level: {loud:?}",
+                code.id()
+            );
+        }
+        // FTR009 must produce nothing at all on the shipped routers
+        assert!(
+            a.with_code(LintCode::AbsintUnreachable).is_empty(),
+            "{name}: {:?}",
+            a.with_code(LintCode::AbsintUnreachable)
+        );
+    }
+}
+
+#[test]
+fn nafta_exception_fallbacks_shadow_at_note_level_only() {
+    // test_exception's unconditional fallbacks are shadowed only because
+    // de_east/de_west provably stay at their INIT value: that is the
+    // optimizer's deletion justification, surfaced as a note (a host
+    // write to the exception registers would activate the fallbacks)
+    let a = analyze_source_with("nafta", ftr_algos::rules_src::NAFTA, &full_opts()).unwrap();
+    let shadows = a.with_code(LintCode::SemanticShadow);
+    assert_eq!(shadows.len(), 2, "{shadows:?}");
+    for d in &shadows {
+        assert_eq!(d.severity, Severity::Note);
+        assert_eq!(d.rulebase.as_deref(), Some("test_exception"));
+        assert!(d.message.contains("host write"), "{}", d.message);
+    }
+}
+
+#[test]
+fn xy_and_west_first_prove_progress() {
+    for name in ["xy", "west_first"] {
+        let src = ftr_algos::rules_src::all().into_iter().find(|(n, _)| *n == name).unwrap().1;
+        let prog = parse(src).unwrap();
+        let c = compile(&prog, &CompileOptions::default()).unwrap();
+        let report = check_progress(&c, &TopoFacts::mesh(8, 8));
+        assert_eq!(
+            report.verdict,
+            ProgressVerdict::Proved,
+            "{name} should prove progress: {}",
+            report.describe()
+        );
+    }
+}
+
+#[test]
+fn naive_adaptive_yields_a_livelock_counterexample() {
+    let prog = parse(ftr_algos::rules_src::NAIVE_ADAPTIVE).unwrap();
+    let c = compile(&prog, &CompileOptions::default()).unwrap();
+    let report = check_progress(&c, &TopoFacts::mesh(8, 8));
+    assert_eq!(report.verdict, ProgressVerdict::Livelock, "{}", report.describe());
+    assert_eq!(report.witness.len(), 4, "the witness is a four-message ring");
+    // every witness message names a held and a wanted channel that chain
+    // around the ring
+    for (i, m) in report.witness.iter().enumerate() {
+        let next = &report.witness[(i + 1) % 4];
+        assert_eq!(
+            m.wants,
+            next.holds,
+            "ring does not close between message {i} and {}",
+            (i + 1) % 4
+        );
+    }
+
+    // and the lint layer surfaces it as a warning-level FTR013
+    let a =
+        analyze_source_with("naive_adaptive", ftr_algos::rules_src::NAIVE_ADAPTIVE, &full_opts())
+            .unwrap();
+    let hits = a.with_code(LintCode::ProgressViolation);
+    assert!(
+        hits.iter().any(|d| d.severity == Severity::Warning),
+        "expected a warning-level FTR013: {hits:?}"
+    );
+    assert!(
+        hits[0].message.contains("ring"),
+        "the diagnostic should carry the counterexample: {}",
+        hits[0].message
+    );
+}
+
+#[test]
+fn semantic_lints_fire_on_seeded_defects() {
+    // interval-provable unreachability and entailment shadowing that the
+    // propositional table lints (FTR001/FTR002) cannot see
+    let src = "INPUT n IN 0 TO 15\n\
+               VARIABLE z IN 0 TO 7 INIT 3\n\
+               ON f() RETURNS 0 TO 3\n\
+                 IF n > 3 THEN RETURN(0);\n\
+                 IF n > 5 AND z = 3 THEN RETURN(1);\n\
+                 IF n < 2 AND n > 9 THEN RETURN(2);\n\
+                 IF TRUE THEN RETURN(3);\n\
+               END f;";
+    let a = analyze_source_with(
+        "seeded",
+        src,
+        &LintOptions { absint: true, progress: false, topo: TopoFacts::none() },
+    )
+    .unwrap();
+    assert!(
+        !a.with_code(LintCode::SemanticShadow).is_empty(),
+        "n > 5 entails n > 3: {:?}",
+        a.diagnostics
+    );
+    assert!(
+        !a.with_code(LintCode::AbsintUnreachable).is_empty(),
+        "n < 2 AND n > 9 is interval-unsat: {:?}",
+        a.diagnostics
+    );
+    assert!(
+        !a.with_code(LintCode::ConstantRegister).is_empty(),
+        "z is provably 3: {:?}",
+        a.diagnostics
+    );
+}

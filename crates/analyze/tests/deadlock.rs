@@ -35,7 +35,7 @@ fn west_first_program_is_deadlock_free_fault_free() {
 
 #[test]
 fn naive_adaptive_baseline_has_a_cycle_witness() {
-    let c = compiled(include_str!("fixtures/adaptive.rules"));
+    let c = compiled(ftr_algos::rules_src::NAIVE_ADAPTIVE);
     let report = verify_mesh("adaptive", &c, 3, 3, MeshVcMode::SingleVc, 0, 16);
     assert!(!report.verified(), "the naive adaptive baseline must deadlock");
     let witness = &report.failures[0];

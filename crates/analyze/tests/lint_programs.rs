@@ -8,7 +8,7 @@ use ftr_analyze::{analyze_source, LintCode, Severity};
 #[test]
 fn all_shipped_programs_analyze_without_error() {
     let programs = ftr_algos::rules_src::all();
-    assert_eq!(programs.len(), 5);
+    assert_eq!(programs.len(), 6);
     for (name, src) in programs {
         let a = analyze_source(name, src)
             .unwrap_or_else(|e| panic!("{name} failed to parse/compile: {e}"));
@@ -81,7 +81,7 @@ fn broken_fixture_flags_every_seeded_defect_with_spans() {
 
 #[test]
 fn adaptive_baseline_fixture_lints_without_errors() {
-    let src = include_str!("fixtures/adaptive.rules");
+    let src = ftr_algos::rules_src::NAIVE_ADAPTIVE;
     let a = analyze_source("adaptive", src).expect("fixture must parse and compile");
     // deadlock-prone, but statically well-formed: nothing at error level
     assert!(a.max_severity() < Some(Severity::Error), "{:?}", a.diagnostics);

@@ -45,7 +45,11 @@ impl CubeRuleRouter {
 
 impl RoutingAlgorithm for CubeRuleRouter {
     fn name(&self) -> String {
-        format!("rule:{}", self.config.name)
+        if self.config.optimized {
+            format!("rule:{}+opt", self.config.name)
+        } else {
+            format!("rule:{}", self.config.name)
+        }
     }
 
     fn num_vcs(&self) -> usize {
@@ -54,8 +58,12 @@ impl RoutingAlgorithm for CubeRuleRouter {
 
     fn controller(&self, _topo: &dyn Topology, node: NodeId) -> Box<dyn NodeController> {
         let _ = node; // ROUTE_C state is address-free: the machine needs no coordinates
+        let mut machine = Machine::from_compiled(self.config.compiled.clone());
+        if let Some(w) = &self.config.step_weights {
+            machine.set_step_weights(std::sync::Arc::clone(w));
+        }
         Box::new(CubeRuleController {
-            machine: Machine::from_compiled(self.config.compiled.clone()),
+            machine,
             cube: self.cube.clone(),
             link_dead: vec![false; self.cube.dim() as usize],
             hop_limit: 4 * self.cube.num_nodes() as u32 + 16,

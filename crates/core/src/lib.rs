@@ -28,7 +28,8 @@ pub use registry::{configuration, list_configurations};
 pub use report::HardwareReport;
 pub use rule_router::{MeshInterface, RuleRouter};
 
-use ftr_rules::{compile, cost, CompileOptions, CompiledProgram, ProgramCost, Result};
+use ftr_rules::{compile, cost, CompileOptions, CompiledProgram, ProgramCost, Result, StepWeights};
+use std::sync::Arc;
 
 /// A compiled router configuration: the output of the paper's "rule
 /// compiler" tool — configuration data for the rule interpreters plus the
@@ -41,6 +42,39 @@ pub struct RouterConfiguration {
     pub compiled: CompiledProgram,
     /// Hardware cost report (Table 1/2 shape).
     pub cost: ProgramCost,
+    /// Modeled per-rule decision latencies, installed on every node
+    /// machine (set for optimized programs so `decision_steps` stays
+    /// comparable to the original program's interpretation counts).
+    pub step_weights: Option<Arc<StepWeights>>,
+    /// True when `compiled` came out of the certified optimizer rather
+    /// than straight from source.
+    pub optimized: bool,
+}
+
+impl RouterConfiguration {
+    /// Builds a configuration from an already-compiled program — the
+    /// entry point for programs rewritten by the certified optimizer
+    /// (`ftr_analyze::opt::optimize_rulebase`), whose output is a
+    /// standard [`CompiledProgram`].
+    pub fn from_compiled(name: &str, compiled: CompiledProgram) -> Result<Self> {
+        let cost = cost::analyze(&compiled.prog, &CompileOptions::default())?;
+        Ok(RouterConfiguration {
+            name: name.to_string(),
+            compiled,
+            cost,
+            step_weights: None,
+            optimized: false,
+        })
+    }
+
+    /// Installs modeled per-rule step weights and tags the configuration
+    /// as optimized; routers propagate the weights into every node
+    /// machine via `Machine::set_step_weights`.
+    pub fn with_step_weights(mut self, weights: StepWeights) -> Self {
+        self.step_weights = Some(Arc::new(weights));
+        self.optimized = true;
+        self
+    }
 }
 
 /// Compiles rule-language source into a router configuration.
@@ -49,7 +83,13 @@ pub fn configure(name: &str, src: &str) -> Result<RouterConfiguration> {
     let prog = ftr_rules::parse(src)?;
     let compiled = compile(&prog, &opts)?;
     let cost = cost::analyze(&prog, &opts)?;
-    Ok(RouterConfiguration { name: name.to_string(), compiled, cost })
+    Ok(RouterConfiguration {
+        name: name.to_string(),
+        compiled,
+        cost,
+        step_weights: None,
+        optimized: false,
+    })
 }
 
 #[cfg(test)]

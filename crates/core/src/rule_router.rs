@@ -122,7 +122,11 @@ impl RuleRouter {
 
 impl RoutingAlgorithm for RuleRouter {
     fn name(&self) -> String {
-        format!("rule:{}", self.config.name)
+        if self.config.optimized {
+            format!("rule:{}+opt", self.config.name)
+        } else {
+            format!("rule:{}", self.config.name)
+        }
     }
 
     fn num_vcs(&self) -> usize {
@@ -133,6 +137,9 @@ impl RoutingAlgorithm for RuleRouter {
         let mut machine = Machine::from_compiled(self.config.compiled.clone());
         if let Some(probe) = &self.probe {
             machine.set_probe(Arc::clone(probe));
+        }
+        if let Some(w) = &self.config.step_weights {
+            machine.set_step_weights(Arc::clone(w));
         }
         self.interface.init_node(&mut machine, node);
         Box::new(RuleNodeController {

@@ -37,6 +37,9 @@ pub struct InterpProfiler {
     // indexed [base][stage]; grows on demand so one profiler can serve
     // machines compiled from different programs
     cells: Mutex<Vec<[StageCost; 3]>>,
+    /// Label distinguishing runs sharing one report (e.g. `"baseline"`
+    /// vs `"optimized"`); carried into every JSON row.
+    tag: Option<String>,
 }
 
 fn stage_idx(stage: Stage) -> usize {
@@ -51,6 +54,17 @@ impl InterpProfiler {
     /// Creates an empty profiler.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty profiler labeled with `tag` (e.g. `"optimized"`
+    /// for runs driven by a rewritten program).
+    pub fn with_tag(tag: &str) -> Self {
+        InterpProfiler { tag: Some(tag.to_string()), ..Self::default() }
+    }
+
+    /// The run label, if any.
+    pub fn tag(&self) -> Option<&str> {
+        self.tag.as_deref()
     }
 
     /// Snapshot of the `(base, stage)` cost matrix.
@@ -103,6 +117,9 @@ impl InterpProfiler {
             let mut o = Obj::new();
             o.str("base", names.get(b).map_or("", |s| s.as_str()));
             o.num("index", b as u64);
+            if let Some(tag) = &self.tag {
+                o.str("tag", tag);
+            }
             for stage in Stage::ALL {
                 let c = row[stage_idx(stage)];
                 let mut cell = Obj::new();

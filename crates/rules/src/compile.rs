@@ -42,6 +42,50 @@ impl Default for CompileOptions {
     }
 }
 
+/// The first kind of output two conflicting conclusions disagree on.
+///
+/// A rule pair can conflict on several outputs at once (a RETURN *and* a
+/// register write, say); warnings are deduplicated by
+/// `(winner, loser, kind)` where `kind` is the first disagreement in
+/// command order, so each pair produces exactly one `Conflict`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ConflictKind {
+    /// The conclusions return different values.
+    Return,
+    /// The conclusions write a register differently.
+    Register,
+    /// The conclusions emit different events.
+    Emit,
+}
+
+/// Classifies the first command-order disagreement between two
+/// conclusions (which are known to differ).
+pub fn conflict_kind(a: &[Command], b: &[Command]) -> ConflictKind {
+    fn kind_of(c: &Command) -> ConflictKind {
+        match c {
+            Command::Return(_) => ConflictKind::Return,
+            Command::Assign { .. } | Command::ForAll { .. } => ConflictKind::Register,
+            Command::Emit { .. } => ConflictKind::Emit,
+        }
+    }
+    for (ca, cb) in a.iter().zip(b.iter()) {
+        if ca != cb {
+            return kind_of(cb);
+        }
+    }
+    // one conclusion is a strict prefix of the other: the extra command
+    // is the disagreement
+    if a.len() > b.len() {
+        kind_of(&a[b.len()])
+    } else if b.len() > a.len() {
+        kind_of(&b[a.len()])
+    } else {
+        // equal lists never reach here (identical conclusions are not
+        // conflicts); keep a deterministic fallback anyway
+        ConflictKind::Return
+    }
+}
+
 /// A resolution the ARON compiler performed silently while filling the
 /// table (§4.3: "conflicts are resolved and gaps are eliminated").
 /// Collected — not printed — so `ftr-analyze` can turn them into
@@ -56,6 +100,8 @@ pub enum CompileWarning {
         winner: usize,
         /// Rule whose conclusion is discarded there.
         loser: usize,
+        /// First output kind the conclusions disagree on.
+        kind: ConflictKind,
         /// Number of feature-space entries where both applied.
         entries: u64,
     },
@@ -530,9 +576,22 @@ pub fn compile_rulebase(
             *a = 0;
         }
     }
-    let mut warnings: Vec<CompileWarning> = conflicts
+    // each (winner, loser) pair collapses to one warning even when the
+    // pair disagrees on several outputs: `kind` is the pair's first
+    // disagreement, so keying by (winner, loser, kind) is a per-pair dedupe
+    let mut dedup: HashMap<(usize, usize, ConflictKind), u64> = HashMap::new();
+    for ((winner, loser), n) in conflicts {
+        let kind = conflict_kind(&rb.rules[winner].conclusion, &rb.rules[loser].conclusion);
+        *dedup.entry((winner, loser, kind)).or_insert(0) += n;
+    }
+    let mut warnings: Vec<CompileWarning> = dedup
         .into_iter()
-        .map(|((winner, loser), n)| CompileWarning::Conflict { winner, loser, entries: n })
+        .map(|((winner, loser, kind), n)| CompileWarning::Conflict {
+            winner,
+            loser,
+            kind,
+            entries: n,
+        })
         .collect();
     warnings.sort_unstable_by_key(|w| match *w {
         CompileWarning::Conflict { winner, loser, .. } => (winner, loser),
@@ -558,6 +617,7 @@ pub fn compile_rulebase(
         width_bits,
         warnings,
         rule_applicable,
+        premises: expanded,
     })
 }
 
@@ -713,13 +773,68 @@ mod tests {
         let c = compile_rulebase(&p, 0, &CompileOptions::default()).unwrap();
         // features: n<4 and n<6 → 4 abstract entries; both true at one of
         // them (conflict, resolved to rule 0), neither true at one (gap)
-        assert!(c.warnings.contains(&CompileWarning::Conflict { winner: 0, loser: 1, entries: 1 }));
+        assert!(c.warnings.contains(&CompileWarning::Conflict {
+            winner: 0,
+            loser: 1,
+            kind: ConflictKind::Return,
+            entries: 1
+        }));
         assert!(c.warnings.iter().any(|w| matches!(w, CompileWarning::Gaps { entries: 1, .. })));
         // both rules are applicable somewhere, and both actually win somewhere
         assert!(c.rule_applicable.iter().all(|&n| n > 0));
         for r in [1u16, 2] {
             assert!(c.table.contains(&r));
         }
+    }
+
+    #[test]
+    fn multi_output_conflict_yields_single_warning() {
+        // the pair disagrees on BOTH a register write and the return
+        // value; dedupe by (winner, loser, kind) must leave exactly one
+        // Conflict, classified by the first disagreement in command order
+        let p = parse(
+            "VARIABLE n IN 0 TO 7 INIT 0\n\
+             VARIABLE m IN 0 TO 7 INIT 0\n\
+             ON f() RETURNS 0 TO 3\n\
+               IF n < 4 THEN m <- 1, RETURN(0);\n\
+               IF n < 6 THEN m <- 2, RETURN(1);\n\
+             END f;",
+        )
+        .unwrap();
+        let c = compile_rulebase(&p, 0, &CompileOptions::default()).unwrap();
+        let conflicts: Vec<_> =
+            c.warnings.iter().filter(|w| matches!(w, CompileWarning::Conflict { .. })).collect();
+        assert_eq!(conflicts.len(), 1, "one warning per conflicting pair: {conflicts:?}");
+        assert!(matches!(
+            conflicts[0],
+            CompileWarning::Conflict { winner: 0, loser: 1, kind: ConflictKind::Register, .. }
+        ));
+    }
+
+    #[test]
+    fn expanded_premises_are_exposed() {
+        let p = parse(
+            "CONSTANT dirs = 0 TO 2\n\
+             INPUT free[dirs] IN bool\n\
+             ON f() RETURNS 0 TO 1\n\
+               IF EXISTS i IN dirs: free(i) THEN RETURN(1);\n\
+               IF TRUE THEN RETURN(0);\n\
+             END f;",
+        )
+        .unwrap();
+        let c = compile_rulebase(&p, 0, &CompileOptions::default()).unwrap();
+        assert_eq!(c.premises.len(), 2);
+        // the quantifier is gone from the exposed guard IR
+        fn has_quant(e: &Expr) -> bool {
+            match e {
+                Expr::Quant { .. } => true,
+                Expr::Un(_, i) => has_quant(i),
+                Expr::Bin(_, l, r) => has_quant(l) || has_quant(r),
+                _ => false,
+            }
+        }
+        assert!(!has_quant(&c.premises[0]));
+        assert_eq!(c.premises[1], Expr::Lit(Value::Bool(true)));
     }
 
     #[test]

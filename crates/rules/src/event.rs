@@ -37,6 +37,45 @@ pub struct MachineStats {
     pub per_base: Vec<u64>,
 }
 
+/// Modeled per-rule step weights for an optimized program.
+///
+/// Fusing a decision chain (e.g. NAFTA's `incoming_message` →
+/// `in_message_ft` → `test_exception`) collapses two or three physical
+/// interpretations into one, but the *modeled* step count — the quantity
+/// §5 reports and the simulator converts into decision-cycle delay —
+/// must stay exactly what the unoptimized program would have counted.
+/// `StepWeights` records how many original interpretations each rule of
+/// the rewritten program stands for; the machine's dispatch loop adds
+/// the weight instead of 1, so `MachineStats::last_fire_steps` and
+/// [`CascadeOutcome::steps`] remain bit-identical to the original while
+/// `MachineStats::per_base` keeps counting *physical* interpretations.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct StepWeights {
+    /// Per base (indexed like `Program::rulebases`): per-rule weights,
+    /// with one extra trailing slot for the gap (no-applicable-rule)
+    /// outcome. Missing bases/slots default to weight 1.
+    pub per_base: Vec<Vec<u32>>,
+}
+
+impl StepWeights {
+    /// Uniform weight 1 for every rule of every base — the identity model.
+    pub fn identity(prog: &Program) -> Self {
+        StepWeights {
+            per_base: prog.rulebases.iter().map(|rb| vec![1; rb.rules.len() + 1]).collect(),
+        }
+    }
+
+    /// Weight of firing `rule` (`None` = gap entry) in `base`.
+    pub fn weight(&self, base: usize, rule: Option<usize>) -> u32 {
+        let Some(ws) = self.per_base.get(base) else { return 1 };
+        let slot = match rule {
+            Some(r) => r,
+            None => ws.len().saturating_sub(1),
+        };
+        ws.get(slot).copied().unwrap_or(1)
+    }
+}
+
 /// Everything a cascaded fire produced.
 #[derive(Clone, Debug, Default)]
 pub struct CascadeOutcome {
@@ -61,6 +100,7 @@ pub struct Machine {
     regs: RegFile,
     queue: VecDeque<EventInstance>,
     probe: Option<Arc<dyn InterpProbe>>,
+    step_weights: Option<Arc<StepWeights>>,
     /// Safety budget per external fire: livelock guard for cyclic event
     /// generation.
     pub max_internal_events: u32,
@@ -80,6 +120,7 @@ impl Machine {
             regs,
             queue: VecDeque::new(),
             probe: None,
+            step_weights: None,
             max_internal_events: 10_000,
             stats: MachineStats { per_base: vec![0; n], ..Default::default() },
         })
@@ -94,9 +135,17 @@ impl Machine {
             regs,
             queue: VecDeque::new(),
             probe: None,
+            step_weights: None,
             max_internal_events: 10_000,
             stats: MachineStats { per_base: vec![0; n], ..Default::default() },
         }
+    }
+
+    /// Installs modeled step weights (see [`StepWeights`]); used when
+    /// running an optimized program whose fused rules stand for several
+    /// original interpretations.
+    pub fn set_step_weights(&mut self, weights: Arc<StepWeights>) {
+        self.step_weights = Some(weights);
     }
 
     /// Installs an interpretation probe: every subsequent rule-base fire
@@ -194,8 +243,6 @@ impl Machine {
             host_events.push(EventInstance { event: event.to_string(), args: args.to_vec() });
             return Ok(None);
         };
-        self.stats.total_steps += 1;
-        self.stats.last_fire_steps += 1;
         self.stats.per_base[idx] += 1;
         let base = &self.compiled.bases[idx];
         let out = match &self.probe {
@@ -204,6 +251,11 @@ impl Machine {
             }
             None => base.fire(&self.compiled.prog, args, &mut self.regs, inputs)?,
         };
+        // modeled steps: a fused rule counts as every interpretation it
+        // replaced, so step-derived quantities match the original program
+        let w = self.step_weights.as_ref().map_or(1, |sw| sw.weight(idx, out.rule));
+        self.stats.total_steps += u64::from(w);
+        self.stats.last_fire_steps += w;
         for ev in &out.emitted {
             if self.compiled.prog.rulebase(&ev.event).is_some() {
                 self.queue.push_back(ev.clone());
@@ -276,6 +328,26 @@ mod tests {
         assert_eq!(m.stats.per_base[0], 4);
         assert_eq!(m.stats.total_steps, 4);
         assert_eq!(m.regs().read(m.program(), 0, &[]).unwrap(), int(3));
+    }
+
+    #[test]
+    fn step_weights_scale_modeled_steps_only() {
+        let p = parse(
+            "VARIABLE n IN 0 TO 7 INIT 0\n\
+             ON a() RETURNS 0 TO 7\n\
+               IF n = 0 THEN RETURN(0);\n\
+               IF TRUE THEN RETURN(1);\n\
+             END a;",
+        )
+        .unwrap();
+        let mut m = Machine::new(p, &CompileOptions::default()).unwrap();
+        let mut w = StepWeights::identity(m.program());
+        w.per_base[0] = vec![3, 1, 2]; // rule0→3, rule1→1, gap→2
+        m.set_step_weights(Arc::new(w));
+        let casc = m.fire_cascade("a", &[], &InputMap::new()).unwrap();
+        assert_eq!(casc.steps, 3, "rule 0 fired with weight 3");
+        assert_eq!(m.stats.total_steps, 3);
+        assert_eq!(m.stats.per_base[0], 1, "physical count unscaled");
     }
 
     #[test]

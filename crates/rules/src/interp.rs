@@ -47,6 +47,12 @@ pub struct CompiledRuleBase {
     /// space; a non-zero count with no table entry selecting the rule
     /// means it is shadowed by earlier rules.
     pub rule_applicable: Vec<u64>,
+    /// Per rule: the guard IR the table was filled from — the premise
+    /// with quantifiers expanded, `/=` normalised and constants folded.
+    /// This is the exact formula semantic analyses (`ftr_analyze::absint`)
+    /// should reason over; the surface premise in
+    /// [`Program::rulebases`] may still contain quantifiers.
+    pub premises: Vec<crate::ast::Expr>,
 }
 
 impl CompiledRuleBase {

@@ -30,12 +30,12 @@ pub mod token;
 pub mod value;
 
 pub use ast::Program;
-pub use compile::{compile, compile_rulebase, CompileOptions, CompileWarning};
+pub use compile::{compile, compile_rulebase, CompileOptions, CompileWarning, ConflictKind};
 pub use cost::{ProgramCost, RegisterCost, RuleBaseCost};
 pub use env::{InputMap, InputProvider, RegFile};
 pub use error::{Result, RuleError};
 pub use eval::{fire_reference, EventInstance, FireOutcome};
-pub use event::Machine;
+pub use event::{Machine, StepWeights};
 pub use fcfb::FcfbKind;
 pub use interp::{CompiledProgram, CompiledRuleBase};
 pub use parser::parse;

@@ -18,7 +18,7 @@ use std::sync::Arc;
 
 /// The same program the static verifier condemns in
 /// `ftr-analyze/tests/deadlock.rs`.
-const ADAPTIVE_SRC: &str = include_str!("../../analyze/tests/fixtures/adaptive.rules");
+const ADAPTIVE_SRC: &str = ftr_algos::rules_src::NAIVE_ADAPTIVE;
 
 fn diag_cfg() -> DiagnoserConfig {
     DiagnoserConfig { scan_period: 32, stale_window: 8, min_blocked: 96, starvation_window: 0 }
