@@ -18,7 +18,7 @@
 //! raw event stream is also kept as JSONL for `ftr-trace` replay.
 
 use ftr_algos::Nafta;
-use ftr_bench::results;
+use ftr_bench::{harness, results};
 use ftr_obs::{json, RingSink, TeeSink, TraceSink};
 use ftr_sim::{FaultPlan, Network, Pattern, RetryPolicy, TrafficSource};
 use ftr_topo::Mesh2D;
@@ -34,9 +34,9 @@ const DRAIN_BUDGET: u64 = 60_000;
 const MSG_LEN: u32 = 16;
 
 fn main() {
-    let mut args = std::env::args().skip(1);
-    let seed: u64 = args.next().map_or(977, |a| a.parse().expect("seed: integer"));
-    let load: f64 = args.next().map_or(0.2, |a| a.parse().expect("load: flits/node/cycle"));
+    let args = harness::Args::parse();
+    let seed: u64 = args.pos(0, "seed", 977);
+    let load: f64 = args.pos(1, "load", 0.2);
 
     println!(
         "E16 latency attribution: {SIDE}x{SIDE} NAFTA mesh, load {load}, seed {seed}, \
@@ -63,12 +63,7 @@ fn main() {
     net.set_measuring(true);
 
     let mut tf = TrafficSource::new(Pattern::Uniform, load, MSG_LEN, seed ^ 0xabcd);
-    for _ in 0..CYCLES {
-        for (s, d, l) in tf.tick(&mesh, net.faults()) {
-            let _ = net.send(s, d, l);
-        }
-        net.step();
-    }
+    harness::drive(&mut net, &mut tf, CYCLES);
     assert!(net.drain(DRAIN_BUDGET), "run must drain");
     diag.scan_now();
     if let Some(j) = &jsonl {
@@ -136,7 +131,6 @@ fn main() {
         root.field("report", report.to_json());
         root.finish()
     };
-    let path = results::write_json("attribution", &payload).expect("write results");
     println!("\nreconstruction matches engine stats exactly; diagnoser clean");
-    println!("wrote {}", path.display());
+    harness::export("attribution", &payload);
 }

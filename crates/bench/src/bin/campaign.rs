@@ -18,9 +18,9 @@
 //! to stdout and `results/campaign.json`.
 
 use ftr_algos::Nafta;
-use ftr_bench::results;
+use ftr_bench::{harness, results};
 use ftr_obs::{json, TeeSink, TraceSink};
-use ftr_sim::sweep::{default_threads, run_sweep};
+use ftr_sim::sweep::run_sweep;
 use ftr_sim::{FaultPlan, Network, Pattern, RetryPolicy, TrafficSource};
 use ftr_topo::Mesh2D;
 use ftr_trace::DiagnoserSink;
@@ -90,14 +90,9 @@ fn run_one(spec: &RunSpec) -> RunOut {
     net.set_measuring(true);
 
     let mut tf = TrafficSource::new(Pattern::Uniform, spec.load, MSG_LEN, spec.seed ^ 0x5ca1e);
-    for _ in 0..WARM_CYCLES {
-        for (s, d, l) in tf.tick(&mesh, net.faults()) {
-            // link faults never kill endpoints here, but a rejected send
-            // must be counted, not fatal
-            let _ = net.send(s, d, l);
-        }
-        net.step();
-    }
+    // link faults never kill endpoints here, but a rejected send must be
+    // counted, not fatal — harness::drive has exactly those semantics
+    harness::drive(&mut net, &mut tf, WARM_CYCLES);
     let drained = net.drain(DRAIN_BUDGET);
     diag.scan_now();
     if let Some(j) = &jsonl {
@@ -138,10 +133,9 @@ struct Cell {
 }
 
 fn main() {
-    let mut args = std::env::args().skip(1);
-    let runs_per_cell: usize =
-        args.next().map_or(25, |a| a.parse().expect("runs-per-cell: positive integer"));
-    let load: f64 = args.next().map_or(0.15, |a| a.parse().expect("load: flits/node/cycle"));
+    let args = harness::Args::parse();
+    let runs_per_cell: usize = args.pos(0, "runs-per-cell", 25);
+    let load: f64 = args.pos(1, "load", 0.15);
 
     let fault_counts = [0usize, 4, 8, 12, 16];
     let mut specs = Vec::new();
@@ -157,9 +151,9 @@ fn main() {
         "E15 dynamic-fault campaign: {SIDE}x{SIDE} NAFTA mesh, load {load}, \
          transient link faults repaired after {REPAIR_AFTER} cycles"
     );
-    println!("{total} runs ({runs_per_cell} per cell) on {} threads\n", default_threads());
+    println!("{total} runs ({runs_per_cell} per cell) on {} threads\n", harness::threads());
 
-    let outs = run_sweep(specs.clone(), default_threads(), run_one);
+    let outs = run_sweep(specs.clone(), harness::threads(), run_one);
 
     // hard invariants: every run, no exceptions
     let mut violations = 0usize;
@@ -289,8 +283,8 @@ fn main() {
         );
         root.finish()
     };
-    let path = results::write_json("campaign", &payload).expect("write results");
+
     let rejected: u64 = outs.iter().map(|o| o.rejected).sum();
     println!("\nall {total} runs balanced, drained, deadlock-free ({rejected} rejected sends)");
-    println!("wrote {}", path.display());
+    harness::export("campaign", &payload);
 }

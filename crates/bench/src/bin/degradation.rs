@@ -9,7 +9,7 @@
 //! as faults accumulate, and how much traffic is absorbed by detours.
 
 use ftr_algos::Nafta;
-use ftr_bench::measure_load;
+use ftr_bench::{harness, measure_load};
 use ftr_sim::{Network, Pattern, SimConfig, TrafficSource};
 use ftr_topo::{FaultSet, Mesh2D};
 use std::sync::Arc;
@@ -41,12 +41,7 @@ fn main() {
         net.settle_control(100_000).unwrap();
         net.set_measuring(true);
         let mut tf = TrafficSource::new(Pattern::Uniform, 0.15, 4, 22);
-        for _ in 0..2_000 {
-            for (s, d, l) in tf.tick(&mesh, net.faults()) {
-                net.send(s, d, l).unwrap();
-            }
-            net.step();
-        }
+        harness::drive(&mut net, &mut tf, 2_000);
         net.drain(50_000);
 
         println!(

@@ -8,7 +8,7 @@
 //! land in `results/fairness.json`.
 
 use ftr_algos::Nafta;
-use ftr_bench::results;
+use ftr_bench::harness;
 use ftr_obs::json;
 use ftr_sim::{Network, Pattern, SimConfig, TrafficSource};
 use ftr_topo::{FaultSet, Mesh2D};
@@ -33,12 +33,7 @@ fn run(policy: &'static str, prioritize: bool) -> Row {
     net.settle_control(100_000).unwrap();
     net.set_measuring(true);
     let mut tf = TrafficSource::new(Pattern::Uniform, 0.12, 4, 55);
-    for _ in 0..4_000 {
-        for (s, d, l) in tf.tick(&mesh, net.faults()) {
-            net.send(s, d, l).unwrap();
-        }
-        net.step();
-    }
+    harness::drive(&mut net, &mut tf, 4_000);
     net.drain(100_000);
     Row {
         policy,
@@ -79,11 +74,9 @@ fn main() {
         );
         root.finish()
     };
-    let path = results::write_json("fairness", &payload).expect("write results");
-
     println!(
         "\nExpected shape: the policy narrows the detoured-vs-direct latency\n\
          gap at a small cost to direct traffic — 'adaptivity in the small'."
     );
-    println!("wrote {}", path.display());
+    harness::export("fairness", &payload);
 }

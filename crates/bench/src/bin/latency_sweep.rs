@@ -17,7 +17,7 @@
 //! `results/latency_sweep.json`.
 
 use ftr_algos::{Nafta, Nara, RouteC};
-use ftr_bench::{format_curve, measure_load, results, LoadPoint};
+use ftr_bench::{format_curve, harness, measure_load, results, LoadPoint};
 use ftr_obs::json;
 use ftr_sim::routing::RoutingAlgorithm;
 use ftr_sim::{Pattern, SimConfig};
@@ -34,7 +34,7 @@ fn curve<T: Topology + Clone + Sync + 'static>(
     cfg: SimConfig,
 ) -> Vec<LoadPoint> {
     let inputs: Vec<f64> = LOADS.to_vec();
-    ftr_sim::run_sweep(inputs, ftr_sim::sweep::default_threads(), |&load| {
+    ftr_sim::run_sweep(inputs, harness::threads(), |&load| {
         measure_load(topo, algo, faults, Pattern::Uniform, load, 4, WARMUP, WINDOW, 42, cfg)
     })
 }
@@ -94,6 +94,5 @@ fn main() {
         );
         root.finish()
     };
-    let path = results::write_json("latency_sweep", &payload).expect("write results");
-    println!("wrote {}", path.display());
+    harness::export("latency_sweep", &payload);
 }

@@ -22,7 +22,7 @@
 //! Results go to `results/BENCH_opt.json`.
 
 use ftr_analyze::{opt, TopoFacts};
-use ftr_bench::results;
+use ftr_bench::harness;
 use ftr_core::{configure, RouterConfiguration, RuleRouter};
 use ftr_obs::{json, InterpProfiler};
 use ftr_sim::{Network, Pattern, SimStats, TrafficSource};
@@ -173,7 +173,7 @@ fn report_json(r: &ProgReport) -> String {
 }
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let smoke = harness::Args::parse().smoke();
     let cycles = if smoke { 500 } else { 4_000 };
     println!("# E18 opt_perf: {SIDE}x{SIDE} mesh, {cycles} cycles per load point (smoke={smoke})");
 
@@ -204,6 +204,5 @@ fn main() {
         .num("msg_len", MSG_LEN as i64)
         .float("nafta_reduction_pct", nafta.reduction_pct())
         .field("programs", json::array(reports.iter().map(report_json)));
-    let path = results::write_json("BENCH_opt", &root.finish()).expect("results written");
-    println!("# wrote {}", path.display());
+    harness::export("BENCH_opt", &root.finish());
 }

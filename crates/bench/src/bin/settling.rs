@@ -9,7 +9,7 @@
 //! and land in `results/settling.json`.
 
 use ftr_algos::{Nafta, RouteC};
-use ftr_bench::results;
+use ftr_bench::harness;
 use ftr_obs::{json, MetricsRegistry};
 use ftr_sim::routing::RoutingAlgorithm;
 use ftr_sim::Network;
@@ -91,12 +91,10 @@ fn main() {
         );
         root.finish()
     };
-    let path = results::write_json("settling", &payload).expect("write results");
-
     println!(
         "\nBoth schemes settle within a small multiple of the network diameter \
          (mesh 12x12 diameter 22, 6-cube diameter 6): monotone lattice updates \
          can cross the network only once."
     );
-    println!("wrote {}", path.display());
+    harness::export("settling", &payload);
 }

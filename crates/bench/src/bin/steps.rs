@@ -14,7 +14,7 @@
 //! rows go to `results/steps.json`.
 
 use ftr_algos::{Nafta, Nara, RouteC};
-use ftr_bench::results;
+use ftr_bench::harness;
 use ftr_obs::{json, EventKind, RingSink};
 use ftr_sim::routing::RoutingAlgorithm;
 use ftr_sim::{Network, Pattern, TrafficSource};
@@ -46,12 +46,7 @@ fn run<T: Topology + Clone + 'static>(
     net.settle_control(100_000).expect("settles");
     net.set_measuring(true);
     let mut tf = TrafficSource::new(Pattern::Uniform, 0.15, 4, 99);
-    for _ in 0..1_500 {
-        for (s, d, l) in tf.tick(topo, net.faults()) {
-            net.send(s, d, l).unwrap();
-        }
-        net.step();
-    }
+    harness::drive(&mut net, &mut tf, 1_500);
     net.drain(100_000);
 
     // E4 from the trace stream alone: aggregate route_decision events
@@ -147,10 +142,9 @@ fn main() {
         );
         root.finish()
     };
-    let path = results::write_json("steps", &payload).expect("write results");
     println!(
         "\n(min = 0 appears when a message is delivered at its injection node's \
          neighbour and the ejection shortcut fires; see ftr-sim docs)"
     );
-    println!("wrote {}", path.display());
+    harness::export("steps", &payload);
 }

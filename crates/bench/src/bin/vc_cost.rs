@@ -16,6 +16,7 @@
 //! the hardware cost the paper weighs against NAFTA's state/overhead.
 
 use ftr_algos::{Nafta, NegativeHop};
+use ftr_bench::harness;
 use ftr_sim::routing::RoutingAlgorithm;
 use ftr_sim::{Network, Pattern, TrafficSource};
 use ftr_topo::{FaultSet, Mesh2D};
@@ -35,12 +36,7 @@ fn run(mesh: &Mesh2D, algo: &dyn RoutingAlgorithm, faults: &FaultSet) -> Row {
     net.settle_control(100_000).expect("settles");
     net.set_measuring(true);
     let mut tf = TrafficSource::new(Pattern::Uniform, 0.12, 4, 77);
-    for _ in 0..2_000 {
-        for (s, d, l) in tf.tick(mesh, net.faults()) {
-            net.send(s, d, l).unwrap();
-        }
-        net.step();
-    }
+    harness::drive(&mut net, &mut tf, 2_000);
     net.drain(100_000);
     Row {
         vcs: algo.num_vcs(),

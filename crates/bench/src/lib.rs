@@ -13,6 +13,7 @@ use ftr_sim::{Network, Pattern, SimConfig, TrafficSource};
 use ftr_topo::Topology;
 use std::sync::Arc;
 
+pub mod harness;
 pub mod results;
 
 /// One point of a latency/throughput curve.

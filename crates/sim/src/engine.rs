@@ -1,0 +1,197 @@
+//! The engine facade: one interface over every step backend.
+//!
+//! [`SimEngine`] is the object-safe surface drivers program against —
+//! sweeps, fault campaigns, bench bins and trace tooling take a
+//! `Box<dyn SimEngine>` and stay agnostic of how the cycles are computed.
+//! [`crate::Network`] implements it for every configuration: the
+//! sequential scan, the dense reference scan and the sharded parallel step
+//! are all the same type behind [`crate::NetworkBuilder::threads`], and —
+//! by the determinism argument of `DESIGN.md` §14 — all observably
+//! identical, so swapping backends never changes results.
+//!
+//! ```
+//! use ftr_sim::{NetworkBuilder, SimEngine, routing::*};
+//! # use ftr_sim::flit::Header;
+//! use ftr_topo::{Mesh2D, NodeId, PortId, Topology, VcId};
+//! use std::sync::Arc;
+//! # struct Stay;
+//! # struct StayCtl;
+//! # impl RoutingAlgorithm for Stay {
+//! #     fn name(&self) -> String { "stay".into() }
+//! #     fn num_vcs(&self) -> usize { 1 }
+//! #     fn controller(&self, _t: &dyn Topology, _n: NodeId) -> Box<dyn NodeController> {
+//! #         Box::new(StayCtl)
+//! #     }
+//! # }
+//! # impl NodeController for StayCtl {
+//! #     fn route(&mut self, _v: &RouterView<'_>, _h: &mut Header,
+//! #              _ip: Option<PortId>, _iv: VcId) -> Decision {
+//! #         Decision::new(Verdict::Wait, 1)
+//! #     }
+//! # }
+//! let mut engine: Box<dyn SimEngine> = NetworkBuilder::new(Arc::new(Mesh2D::new(4, 4)))
+//!     .threads(2)
+//!     .build_engine(&Stay)
+//!     .expect("valid configuration");
+//! engine.run(10);
+//! assert_eq!(engine.cycle(), 10);
+//! assert_eq!(engine.threads(), 2);
+//! ```
+
+use crate::flit::MessageId;
+use crate::network::{Network, RetryPolicy, SendError};
+use crate::plan::FaultPlan;
+use crate::stats::SimStats;
+use ftr_obs::{MetricsRegistry, TraceSink};
+use ftr_topo::{FaultSet, NodeId, PortId, Topology};
+use std::sync::Arc;
+
+/// Object-safe driver interface over a simulation backend.
+///
+/// Everything a campaign/sweep/bench driver needs to offer load, script
+/// faults, advance time and read results — without naming the concrete
+/// engine. Obtain one from [`crate::NetworkBuilder::build_engine`].
+pub trait SimEngine: Send {
+    /// Advances the simulation one cycle.
+    fn step(&mut self);
+
+    /// Runs `cycles` steps (stops early on deadlock).
+    fn run(&mut self, cycles: u64);
+
+    /// Runs until all in-flight messages terminate or `budget` cycles
+    /// elapse; true if the network drained.
+    fn drain(&mut self, budget: u64) -> bool;
+
+    /// Runs only the control plane until it goes quiet; `None` if `budget`
+    /// was exhausted first.
+    fn settle_control(&mut self, budget: u64) -> Option<u64>;
+
+    /// Injects a message at `src` for `dst`.
+    fn send(&mut self, src: NodeId, dst: NodeId, len_flits: u32) -> Result<MessageId, SendError>;
+
+    /// Current cycle.
+    fn cycle(&self) -> u64;
+
+    /// Aggregated statistics.
+    fn stats(&self) -> &SimStats;
+
+    /// Messages in flight (injected, not yet terminated).
+    fn in_flight(&self) -> usize;
+
+    /// Whether the most recent step moved any flit.
+    fn last_step_moved(&self) -> bool;
+
+    /// Marks subsequently injected messages as measured.
+    fn set_measuring(&mut self, on: bool);
+
+    /// Adds to the measured-cycles count used for throughput.
+    fn add_measured_cycles(&mut self, c: u64);
+
+    /// The topology.
+    fn topo(&self) -> &dyn Topology;
+
+    /// Ground-truth fault set.
+    fn faults(&self) -> &FaultSet;
+
+    /// Fails the link leaving `n` through `p`.
+    fn inject_link_fault(&mut self, n: NodeId, p: PortId);
+
+    /// Fails node `n`.
+    fn inject_node_fault(&mut self, n: NodeId);
+
+    /// Repairs the link leaving `n` through `p`.
+    fn repair_link(&mut self, n: NodeId, p: PortId);
+
+    /// Repairs node `n`.
+    fn repair_node(&mut self, n: NodeId);
+
+    /// Applies a whole static fault set (links then nodes).
+    fn apply_fault_set(&mut self, fs: &FaultSet);
+
+    /// Attaches (or replaces) a scripted fault plan mid-run.
+    fn set_fault_plan(&mut self, plan: FaultPlan);
+
+    /// Enables, replaces or (with `None`) disables source retransmission.
+    fn set_retry_policy(&mut self, policy: Option<RetryPolicy>);
+
+    /// The attached trace sink, if any.
+    fn trace_sink(&self) -> Option<&Arc<dyn TraceSink>>;
+
+    /// The attached metrics registry, if any.
+    fn metrics_registry(&self) -> Option<&Arc<MetricsRegistry>>;
+
+    /// Number of shards the step partitions the network into.
+    fn threads(&self) -> usize;
+}
+
+impl SimEngine for Network {
+    fn step(&mut self) {
+        Network::step(self);
+    }
+    fn run(&mut self, cycles: u64) {
+        Network::run(self, cycles);
+    }
+    fn drain(&mut self, budget: u64) -> bool {
+        Network::drain(self, budget)
+    }
+    fn settle_control(&mut self, budget: u64) -> Option<u64> {
+        Network::settle_control(self, budget)
+    }
+    fn send(&mut self, src: NodeId, dst: NodeId, len_flits: u32) -> Result<MessageId, SendError> {
+        Network::send(self, src, dst, len_flits)
+    }
+    fn cycle(&self) -> u64 {
+        Network::cycle(self)
+    }
+    fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+    fn in_flight(&self) -> usize {
+        Network::in_flight(self)
+    }
+    fn last_step_moved(&self) -> bool {
+        Network::last_step_moved(self)
+    }
+    fn set_measuring(&mut self, on: bool) {
+        Network::set_measuring(self, on);
+    }
+    fn add_measured_cycles(&mut self, c: u64) {
+        Network::add_measured_cycles(self, c);
+    }
+    fn topo(&self) -> &dyn Topology {
+        Network::topo(self)
+    }
+    fn faults(&self) -> &FaultSet {
+        Network::faults(self)
+    }
+    fn inject_link_fault(&mut self, n: NodeId, p: PortId) {
+        Network::inject_link_fault(self, n, p);
+    }
+    fn inject_node_fault(&mut self, n: NodeId) {
+        Network::inject_node_fault(self, n);
+    }
+    fn repair_link(&mut self, n: NodeId, p: PortId) {
+        Network::repair_link(self, n, p);
+    }
+    fn repair_node(&mut self, n: NodeId) {
+        Network::repair_node(self, n);
+    }
+    fn apply_fault_set(&mut self, fs: &FaultSet) {
+        Network::apply_fault_set(self, fs);
+    }
+    fn set_fault_plan(&mut self, plan: FaultPlan) {
+        Network::set_fault_plan(self, plan);
+    }
+    fn set_retry_policy(&mut self, policy: Option<RetryPolicy>) {
+        Network::set_retry_policy(self, policy);
+    }
+    fn trace_sink(&self) -> Option<&Arc<dyn TraceSink>> {
+        Network::trace_sink(self)
+    }
+    fn metrics_registry(&self) -> Option<&Arc<MetricsRegistry>> {
+        Network::metrics_registry(self)
+    }
+    fn threads(&self) -> usize {
+        Network::threads(self)
+    }
+}

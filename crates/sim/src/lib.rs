@@ -57,6 +57,8 @@
 //! To observe *why* the numbers come out the way they do, attach a trace
 //! sink and/or metrics registry via [`NetworkBuilder`] — see `ftr-obs`.
 
+mod arena;
+pub mod engine;
 pub mod flit;
 pub mod network;
 pub mod plan;
@@ -66,10 +68,11 @@ pub mod stats;
 pub mod sweep;
 pub mod traffic;
 
+pub use engine::SimEngine;
 pub use flit::{Flit, FlitKind, Header, MessageId};
 pub use network::{BuildError, Network, NetworkBuilder, RetryPolicy, SendError, SimConfig};
 pub use plan::{FaultAction, FaultPlan, PlannedAction};
 pub use routing::{ControlMsg, Decision, NodeController, RouterView, RoutingAlgorithm, Verdict};
 pub use stats::{Accum, SimStats};
-pub use sweep::run_sweep;
+pub use sweep::{run_sweep, worker_count};
 pub use traffic::{Pattern, TrafficSource};

@@ -1,18 +1,28 @@
 //! The cycle-level network engine.
 //!
-//! Drives the per-node routers of [`crate::router`] under the control of a
+//! Drives the per-node routers under the control of a
 //! [`RoutingAlgorithm`]: link traversal, injection, routing decisions with
 //! configurable latency, switch allocation (round-robin), ejection,
 //! credit-based flow control, control-plane propagation of fault state, and
 //! dynamic fault injection with worm-kill semantics (messages ripped by a
 //! fault are removed network-wide and counted, standing in for the
 //! higher-level recovery protocols the paper's §2.1 mentions).
+//!
+//! All data-path state lives in the struct-of-arrays `crate::arena`; the
+//! step executes as a sequence of node-local *phases* over spatially
+//! contiguous shards with a conservative barrier between phases. With one
+//! shard the engine is the classic sequential simulator; with N shards the
+//! phases run on OS threads and the barriers merge cross-shard effects
+//! (flit handoffs, trace events, stats ops, credit returns) in shard order,
+//! which reproduces the sequential ascending-node order exactly — results
+//! are bit-identical for every thread count. See `DESIGN.md` §14.
 
 #![allow(clippy::needless_range_loop)] // index loops mirror the hardware structure
 
+use crate::arena::{ChanRef, Channels, Geometry};
 use crate::flit::{Flit, FlitKind, Header, MessageId};
 use crate::plan::{FaultAction, FaultPlan};
-use crate::router::{DecisionPhase, RouteState, RouterNode};
+use crate::router::{DecisionPhase, RouteState};
 use crate::routing::{ControlMsg, NodeController, RouterView, RoutingAlgorithm, Verdict};
 use crate::stats::{MsgMeta, SimStats};
 use ftr_obs::{
@@ -36,6 +46,15 @@ pub struct SimConfig {
     /// Favour misrouted messages in switch allocation (§3: compensate "the
     /// double disadvantage of the longer path and higher loaded links").
     pub prioritize_misrouted: bool,
+    /// Worker shards for the sharded step. `1` is the sequential engine;
+    /// `0` resolves to [`crate::sweep::worker_count`] at build time.
+    /// Results are bit-identical for every value.
+    pub threads: usize,
+    /// Minimum working-set size (nodes in the cycle's active set) before a
+    /// multi-shard step fans out to OS threads; below it the shards run
+    /// inline on the calling thread (same results, no spawn overhead).
+    /// `0` forces OS threads whenever more than one shard exists.
+    pub spawn_threshold: usize,
 }
 
 impl Default for SimConfig {
@@ -45,6 +64,8 @@ impl Default for SimConfig {
             decision_cycles_per_step: 1,
             deadlock_threshold: 2_000,
             prioritize_misrouted: false,
+            threads: 1,
+            spawn_threshold: 2_048,
         }
     }
 }
@@ -57,27 +78,107 @@ struct ControlDelivery {
     payload: Vec<i64>,
 }
 
-/// Reusable per-cycle scratch buffers.
+/// Reusable per-cycle scratch buffers of the master loop.
 ///
 /// Every phase of [`Network::step`] used to heap-allocate fresh working
-/// storage each cycle (the unroutable set, credit-return list, per-node
-/// `used` flags, the due control deliveries); keeping them on the network
-/// and clearing instead of dropping makes the per-cycle fixed cost
-/// allocation-free.
+/// storage each cycle; keeping the buffers on the network and clearing
+/// instead of dropping makes the per-cycle fixed cost allocation-free.
+/// Per-shard working storage lives in [`ShardScratch`].
 #[derive(Default)]
 struct StepScratch {
-    /// The working set of the running step (node indices, ascending).
+    /// The working set at step entry (node indices, ascending).
     cur: Vec<u32>,
+    /// `cur` plus nodes activated by this cycle's link traversal.
+    cur_ext: Vec<u32>,
     /// Messages declared unroutable by this cycle's routing decisions.
     unroutable: HashSet<MessageId>,
     /// Live messages whose flit was caught on a just-dead link.
     dropped: HashSet<MessageId>,
-    /// Credits to return upstream after switch allocation.
-    credit_returns: Vec<(NodeId, PortId, usize)>,
-    /// Per-input-port "moved a flit this cycle" flags (reused per node).
-    used: Vec<bool>,
     /// Control deliveries due this cycle.
     due: Vec<ControlDelivery>,
+}
+
+/// A flit crossing a shard boundary, parked until the phase barrier.
+struct Handoff {
+    node: u32,
+    port: u8,
+    vc: u8,
+    flit: Flit,
+}
+
+/// A statistics update recorded inside a shard and replayed by the master
+/// at the barrier (SimStats is not sharded; all its accumulators commute,
+/// and shard-order replay reproduces the sequential update order).
+enum StatOp {
+    /// Decision-step count of a newly counted routing decision.
+    Decision(u64),
+    /// A head flit reached its destination with this hop count.
+    HeadArrival(MessageId, u32),
+    /// A tail ejected: the message is delivered at the current cycle.
+    Deliver(MessageId),
+}
+
+/// Per-shard working storage: everything a shard produces that crosses its
+/// node range is buffered here and applied by the master at the barrier,
+/// in shard order.
+#[derive(Default)]
+struct ShardScratch {
+    /// In-shard nodes that received their first flit this cycle.
+    newly_active: Vec<u32>,
+    /// Flits destined for another shard's input FIFOs.
+    handoff: Vec<Handoff>,
+    /// Messages whose flit was caught on a just-dead link (pre-filter; the
+    /// master applies the liveness check).
+    dropped: Vec<MessageId>,
+    /// Messages declared unroutable by this shard's routing decisions.
+    unroutable: Vec<MessageId>,
+    /// Credits to return upstream after switch allocation: `(node, port,
+    /// vc)` of the freed input slot.
+    credit_returns: Vec<(u32, u8, u8)>,
+    /// Trace events in shard-local emission order.
+    events: Vec<TraceEvent>,
+    /// Stats updates in shard-local order.
+    ops: Vec<StatOp>,
+    /// Per-input-port "moved a flit this cycle" flags (reused per node).
+    used: Vec<bool>,
+    /// Whether this shard moved any flit this cycle.
+    moved: bool,
+}
+
+/// Immutable per-step context shared by every shard.
+struct StepCtx<'a> {
+    topo: &'a dyn Topology,
+    faults: &'a FaultSet,
+    cfg: SimConfig,
+    vcs: usize,
+    degree: usize,
+    cycle: u64,
+    sink_on: bool,
+}
+
+/// Which phase bundle a [`run_shard`] call executes.
+#[derive(Clone, Copy)]
+enum PhaseKind {
+    /// Link traversal: output registers -> downstream input FIFOs.
+    Link,
+    /// Injection (staging -> injection FIFO) then routing decisions.
+    InjectRoute,
+    /// Ejection then switch allocation.
+    EjectSwitch,
+}
+
+/// One shard's slice of the world for a phase run.
+struct ShardTask<'a> {
+    /// Owned node range `lo..hi`.
+    lo: usize,
+    hi: usize,
+    ch: ChanRef<'a>,
+    ctrls: &'a mut [Box<dyn NodeController>],
+    scr: &'a mut ShardScratch,
+    /// Working set restricted to this shard (global ids, ascending).
+    cur: &'a [u32],
+    /// Extended working set restricted to this shard.
+    cur_ext: &'a [u32],
 }
 
 /// Why [`Network::send`] rejected an injection.
@@ -227,10 +328,12 @@ const OCCUPANCY_SAMPLE_PERIOD: u64 = 64;
 /// let sink = Arc::new(ftr_obs::RingSink::new(1024));
 /// let net = NetworkBuilder::new(Arc::new(Mesh2D::new(4, 4)))
 ///     .buffer_depth(8)
+///     .threads(2) // sharded step; results identical to threads(1)
 ///     .trace(sink.clone())
 ///     .build(&Stay)
 ///     .expect("valid configuration");
 /// assert_eq!(net.cycle(), 0);
+/// assert_eq!(net.threads(), 2);
 /// ```
 pub struct NetworkBuilder {
     topo: Arc<dyn Topology>,
@@ -285,6 +388,21 @@ impl NetworkBuilder {
         self
     }
 
+    /// Worker shards for the sharded step (`1` = sequential, `0` = auto
+    /// from [`crate::sweep::worker_count`]). Bit-identical results for
+    /// every value; capped at the node count.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.cfg.threads = n;
+        self
+    }
+
+    /// Working-set size below which a multi-shard step runs its shards
+    /// inline instead of on OS threads (`0` forces OS threads).
+    pub fn spawn_threshold(mut self, nodes: usize) -> Self {
+        self.cfg.spawn_threshold = nodes;
+        self
+    }
+
     /// Attaches a trace sink. With no sink, the network never constructs
     /// a [`TraceEvent`].
     pub fn trace(mut self, sink: Arc<dyn TraceSink>) -> Self {
@@ -330,7 +448,11 @@ impl NetworkBuilder {
         }
         let degree = self.topo.degree();
         let cfg = self.cfg;
-        let nodes = (0..n).map(|_| RouterNode::new(degree, vcs, cfg.buffer_depth)).collect();
+        let threads = if cfg.threads == 0 { crate::sweep::worker_count() } else { cfg.threads };
+        let shards = threads.min(n).max(1);
+        // contiguous equal-size node ranges: the spatial partition
+        let shard_bounds: Vec<usize> = (0..=shards).map(|i| i * n / shards).collect();
+        let chans = Channels::new(Geometry::new(n, degree, vcs, cfg.buffer_depth as usize));
         let ctrls = (0..n).map(|i| algo.controller(self.topo.as_ref(), NodeId(i as u32))).collect();
         let stats = SimStats::for_nodes(n);
         Ok(Network {
@@ -338,7 +460,7 @@ impl NetworkBuilder {
             cfg,
             vcs,
             faults: FaultSet::new(),
-            nodes,
+            chans,
             ctrls,
             control: VecDeque::new(),
             cycle: 0,
@@ -356,7 +478,19 @@ impl NetworkBuilder {
             dense_reference: false,
             last_moved: false,
             scratch: StepScratch::default(),
+            spawn_threshold: cfg.spawn_threshold,
+            shard_bounds,
+            shard_scratch: (0..shards).map(|_| ShardScratch::default()).collect(),
         })
+    }
+
+    /// Like [`NetworkBuilder::build`], but returns the network behind the
+    /// [`crate::engine::SimEngine`] facade.
+    pub fn build_engine(
+        self,
+        algo: &dyn RoutingAlgorithm,
+    ) -> Result<Box<dyn crate::engine::SimEngine>, BuildError> {
+        Ok(Box::new(self.build(algo)?))
     }
 }
 
@@ -366,7 +500,8 @@ pub struct Network {
     cfg: SimConfig,
     vcs: usize,
     faults: FaultSet,
-    nodes: Vec<RouterNode>,
+    /// All per-node data-path state (FIFOs, routes, credits, registers).
+    chans: Channels,
     ctrls: Vec<Box<dyn NodeController>>,
     control: VecDeque<ControlDelivery>,
     cycle: u64,
@@ -393,15 +528,14 @@ pub struct Network {
     /// Whether the most recent `step` moved any flit.
     last_moved: bool,
     scratch: StepScratch,
+    spawn_threshold: usize,
+    /// Shard partition: shard `i` owns nodes
+    /// `shard_bounds[i]..shard_bounds[i + 1]`.
+    shard_bounds: Vec<usize>,
+    shard_scratch: Vec<ShardScratch>,
 }
 
 impl Network {
-    /// Builds a fault-free network running `algo` on every node.
-    #[deprecated(since = "0.1.0", note = "use NetworkBuilder (Network::builder) instead")]
-    pub fn new(topo: Arc<dyn Topology>, algo: &dyn RoutingAlgorithm, cfg: SimConfig) -> Self {
-        NetworkBuilder::new(topo).config(cfg).build(algo).expect("legacy Network::new config")
-    }
-
     /// Starts a [`NetworkBuilder`] over `topo`.
     pub fn builder(topo: Arc<dyn Topology>) -> NetworkBuilder {
         NetworkBuilder::new(topo)
@@ -431,6 +565,12 @@ impl Network {
         self.cycle
     }
 
+    /// Number of shards the step partitions the network into (1 = the
+    /// sequential engine).
+    pub fn threads(&self) -> usize {
+        self.shard_bounds.len() - 1
+    }
+
     /// Switches `step` onto the dense-scan reference path (every phase
     /// iterates every node, as the pre-active-set engine did). The two
     /// paths are observably identical — same `SimStats`, same trace-event
@@ -453,6 +593,17 @@ impl Network {
         let mut v: Vec<u32> = self.active_list.clone();
         v.sort_unstable();
         v.into_iter().map(NodeId).collect()
+    }
+
+    /// Whether node `n` holds any flit-bearing work (diagnostics).
+    pub fn node_has_work(&self, n: NodeId) -> bool {
+        self.chans.has_work(n.idx())
+    }
+
+    /// Whether the output link register of `(n, p)` holds an in-flight
+    /// flit (diagnostics).
+    pub fn output_register_occupied(&self, n: NodeId, p: PortId) -> bool {
+        self.chans.out_reg(n.idx(), p.idx()).is_some()
     }
 
     /// Marks a node as having flit-bearing work. Idempotent; every path
@@ -541,7 +692,7 @@ impl Network {
         if let Some(m) = &self.metrics {
             m.injected.inc();
         }
-        self.nodes[src.idx()].staging.extend(Flit::sequence(header));
+        self.chans.staging_mut(src.idx()).extend(Flit::sequence(header));
         self.mark_active(src.idx());
         Ok(id)
     }
@@ -581,14 +732,16 @@ impl Network {
 
         let mut dead: HashSet<MessageId> = HashSet::new();
         for (node, port) in [(n, p), (m, q)] {
-            if let Some((_, f)) = &self.nodes[node.idx()].out_reg[port.idx()] {
+            if let Some((_, f)) = self.chans.out_reg(node.idx(), port.idx()) {
                 dead.insert(f.msg);
             }
             // messages with flits in the FIFO fed by the dead link are
             // still streaming over it unless their tail already crossed
-            for vc in &self.nodes[node.idx()].inputs[port.idx()] {
-                for f in &vc.fifo {
-                    let crossed = vc.fifo.iter().any(|g| {
+            for v in 0..self.vcs {
+                let flits: Vec<Flit> =
+                    self.chans.fifo_iter(node.idx(), port.idx(), v).copied().collect();
+                for f in &flits {
+                    let crossed = flits.iter().any(|g| {
                         g.msg == f.msg
                             && (matches!(g.kind, FlitKind::Tail)
                                 || matches!(g.kind, FlitKind::Head(h) if h.len_flits <= 1))
@@ -601,8 +754,8 @@ impl Network {
             // worms routed OUT across the dead link: the output-channel
             // owner tracks the holding message even when its flits are all
             // in flight elsewhere
-            for o in &self.nodes[node.idx()].outputs[port.idx()] {
-                if let Some(owner) = o.owner {
+            for v in 0..self.vcs {
+                if let Some(owner) = self.chans.out_owner(node.idx(), port.idx(), v) {
                     dead.insert(owner);
                 }
             }
@@ -617,40 +770,43 @@ impl Network {
     pub fn inject_node_fault(&mut self, n: NodeId) {
         self.faults.fail_node(n);
         self.emit(|| EventKind::NodeFault { node: n });
+        let geo = self.chans.geo();
         let mut dead: HashSet<MessageId> = HashSet::new();
         // everything buffered in the dead node
-        for inputs in &self.nodes[n.idx()].inputs {
-            for vc in inputs {
-                for f in &vc.fifo {
+        for ip in 0..=geo.degree {
+            for iv in 0..geo.vcs_at(ip) {
+                for f in self.chans.fifo_iter(n.idx(), ip, iv) {
                     dead.insert(f.msg);
                 }
             }
         }
-        for (_, f) in self.nodes[n.idx()].out_reg.iter().flatten() {
-            dead.insert(f.msg);
+        for p in 0..geo.degree {
+            if let Some((_, f)) = self.chans.out_reg(n.idx(), p) {
+                dead.insert(f.msg);
+            }
         }
-        for f in &self.nodes[n.idx()].staging {
+        for f in self.chans.staging(n.idx()) {
             dead.insert(f.msg);
         }
         // worms at neighbours routed into the dead node (tracked by the
         // output-channel owners), flits mid-flight towards it, and messages
         // destined to it anywhere in the network
         for node in self.topo.nodes() {
-            for (p, outs) in self.nodes[node.idx()].outputs.iter().enumerate() {
+            for p in 0..geo.degree {
                 if self.topo.neighbor(node, PortId(p as u8)) == Some(n) {
-                    for o in outs {
-                        if let Some(owner) = o.owner {
+                    for v in 0..geo.vcs {
+                        if let Some(owner) = self.chans.out_owner(node.idx(), p, v) {
                             dead.insert(owner);
                         }
                     }
-                    if let Some((_, f)) = &self.nodes[node.idx()].out_reg[p] {
+                    if let Some((_, f)) = self.chans.out_reg(node.idx(), p) {
                         dead.insert(f.msg);
                     }
                 }
             }
-            for inputs in &self.nodes[node.idx()].inputs {
-                for vc in inputs {
-                    for f in &vc.fifo {
+            for ip in 0..=geo.degree {
+                for iv in 0..geo.vcs_at(ip) {
+                    for f in self.chans.fifo_iter(node.idx(), ip, iv) {
                         if let Some(h) = f.header() {
                             if h.dst == n {
                                 dead.insert(f.msg);
@@ -659,14 +815,16 @@ impl Network {
                     }
                 }
             }
-            for reg in self.nodes[node.idx()].out_reg.iter().flatten() {
-                if let Some(h) = reg.1.header() {
-                    if h.dst == n {
-                        dead.insert(reg.1.msg);
+            for p in 0..geo.degree {
+                if let Some((_, f)) = self.chans.out_reg(node.idx(), p) {
+                    if let Some(h) = f.header() {
+                        if h.dst == n {
+                            dead.insert(f.msg);
+                        }
                     }
                 }
             }
-            for f in &self.nodes[node.idx()].staging {
+            for f in self.chans.staging(node.idx()) {
                 if let Some(h) = f.header() {
                     if h.dst == n {
                         dead.insert(f.msg);
@@ -717,7 +875,7 @@ impl Network {
         self.emit(|| EventKind::NodeRepair { node: n });
         // the router hardware comes back empty: fresh buffers, credits and
         // allocation state (everything it held was killed at fault time)
-        self.nodes[n.idx()] = RouterNode::new(self.topo.degree(), self.vcs, self.cfg.buffer_depth);
+        self.chans.reset_node(n.idx());
         self.recompute_credits_and_loads();
         for (p, nb) in self.topo.neighbors(n) {
             if self.faults.link_usable(self.topo.as_ref(), n, p) {
@@ -779,55 +937,6 @@ impl Network {
         self.ctrls[n.idx()].relation(&view, header, in_port, in_vc)
     }
 
-    /// Output channels the controller would accept *right now* for a head
-    /// it asked to wait: each live `(port, vc)` is probed under a
-    /// synthetic view where exactly that channel is free, and kept when
-    /// the controller grants it. Runs only while a trace sink is attached
-    /// (the `RouteWait` wait-for edges); header mutations made by the
-    /// probed decisions are discarded, so a controller whose `route` is a
-    /// pure function of view + header — every in-tree algorithm — is
-    /// unperturbed.
-    fn probe_wants(
-        &mut self,
-        n: NodeId,
-        header: &Header,
-        in_port: Option<PortId>,
-        in_vc: VcId,
-    ) -> Vec<(PortId, VcId)> {
-        let degree = self.topo.degree();
-        let mut link_alive = vec![false; degree];
-        for (p, alive) in link_alive.iter_mut().enumerate() {
-            *alive = self.faults.link_usable(self.topo.as_ref(), n, PortId(p as u8));
-        }
-        let out_load = vec![0u32; degree];
-        let mut out_free = vec![vec![false; self.vcs]; degree];
-        let mut wants = Vec::new();
-        for p in 0..degree {
-            if !link_alive[p] {
-                continue;
-            }
-            for v in 0..self.vcs {
-                out_free[p][v] = true;
-                let view = RouterView {
-                    node: n,
-                    cycle: self.cycle,
-                    out_free: &out_free,
-                    out_load: &out_load,
-                    link_alive: &link_alive,
-                };
-                let mut h = *header;
-                let dec = self.ctrls[n.idx()].route(&view, &mut h, in_port, in_vc);
-                out_free[p][v] = false;
-                if let Verdict::Route(rp, rv) = dec.verdict {
-                    if rp.idx() == p && rv.idx() == v {
-                        wants.push((PortId(p as u8), VcId(v as u8)));
-                    }
-                }
-            }
-        }
-        wants
-    }
-
     fn notify_fault(&mut self, node: NodeId, port: PortId) {
         if self.faults.node_faulty(node) {
             return;
@@ -880,38 +989,39 @@ impl Network {
         if ids.is_empty() {
             return;
         }
-        for node in &mut self.nodes {
-            node.staging.retain(|f| !ids.contains(&f.msg));
-            let nports = node.inputs.len();
-            for ip in 0..nports {
-                for iv in 0..node.inputs[ip].len() {
-                    // a route whose flits are all in flight is identified
-                    // through the output-channel owner; otherwise through
-                    // the FIFO front
-                    let stale = match node.inputs[ip][iv].route {
-                        RouteState::Out(p, v) => {
-                            node.outputs[p.idx()][v.idx()].owner.is_some_and(|m| ids.contains(&m))
+        let geo = self.chans.geo();
+        {
+            let mut ch = self.chans.full_mut();
+            for n in 0..geo.nodes {
+                ch.staging_mut(n).retain(|f| !ids.contains(&f.msg));
+                for ip in 0..=geo.degree {
+                    for iv in 0..geo.vcs_at(ip) {
+                        // a route whose flits are all in flight is
+                        // identified through the output-channel owner;
+                        // otherwise through the FIFO front
+                        let stale = match ch.route(n, ip, iv) {
+                            RouteState::Out(p, v) => {
+                                ch.out_owner(n, p.idx(), v.idx()).is_some_and(|m| ids.contains(&m))
+                            }
+                            _ => false,
+                        };
+                        let front_dead =
+                            ch.fifo_front(n, ip, iv).is_some_and(|f| ids.contains(&f.msg));
+                        ch.fifo_retain(n, ip, iv, |f| !ids.contains(&f.msg));
+                        if front_dead || stale {
+                            ch.reset_route(n, ip, iv);
                         }
-                        _ => false,
-                    };
-                    let vc = &mut node.inputs[ip][iv];
-                    let front_dead = vc.fifo.front().is_some_and(|f| ids.contains(&f.msg));
-                    vc.fifo.retain(|f| !ids.contains(&f.msg));
-                    if front_dead || stale {
-                        vc.reset_route();
                     }
                 }
-            }
-            for outvcs in &mut node.outputs {
-                for o in outvcs {
-                    if o.owner.is_some_and(|m| ids.contains(&m)) {
-                        o.owner = None;
+                for p in 0..geo.degree {
+                    for v in 0..geo.vcs {
+                        if ch.out_owner(n, p, v).is_some_and(|m| ids.contains(&m)) {
+                            ch.set_out_owner(n, p, v, None);
+                        }
                     }
-                }
-            }
-            for reg in &mut node.out_reg {
-                if reg.as_ref().is_some_and(|(_, f)| ids.contains(&f.msg)) {
-                    *reg = None;
+                    if ch.out_reg(n, p).is_some_and(|(_, f)| ids.contains(&f.msg)) {
+                        ch.set_out_reg(n, p, None);
+                    }
                 }
             }
         }
@@ -1008,7 +1118,7 @@ impl Network {
                 m.retried.inc();
             }
             let header = Header::new(r.id, meta.src, meta.dst, meta.len_flits);
-            self.nodes[meta.src.idx()].staging.extend(Flit::sequence(header));
+            self.chans.staging_mut(meta.src.idx()).extend(Flit::sequence(header));
             self.mark_active(meta.src.idx());
         }
     }
@@ -1017,39 +1127,41 @@ impl Network {
     /// (used after worm kills, which invalidate incremental accounting).
     fn recompute_credits_and_loads(&mut self) {
         let topo = Arc::clone(&self.topo);
+        let geo = self.chans.geo();
+        let depth = self.cfg.buffer_depth;
+        let mut ch = self.chans.full_mut();
         for n in topo.nodes() {
             for p in topo.ports() {
                 let Some(m) = topo.neighbor(n, p) else { continue };
                 let q = topo.port_towards(m, n).expect("reverse");
-                for v in 0..self.vcs {
-                    let occupied = self.nodes[m.idx()].inputs[q.idx()][v].fifo.len() as u32;
-                    let in_flight = matches!(
-                        &self.nodes[n.idx()].out_reg[p.idx()],
-                        Some((vc, _)) if vc.idx() == v
-                    ) as u32;
-                    self.nodes[n.idx()].outputs[p.idx()][v].credits =
-                        self.cfg.buffer_depth - occupied - in_flight;
+                for v in 0..geo.vcs {
+                    let occupied = ch.fifo_len(m.idx(), q.idx(), v) as u32;
+                    let in_flight = matches!(ch.out_reg(n.idx(), p.idx()), Some((vc, _)) if vc.idx() == v)
+                        as u32;
+                    ch.set_out_credits(n.idx(), p.idx(), v, depth - occupied - in_flight);
                 }
             }
         }
-        for n in 0..self.nodes.len() {
-            let mut loads = vec![0u32; self.topo.degree()];
-            for inputs in &self.nodes[n].inputs {
-                for vc in inputs {
-                    if let RouteState::Out(p, _) = vc.route {
-                        loads[p.idx()] += vc.fifo.len() as u32;
+        for n in 0..geo.nodes {
+            for p in 0..geo.degree {
+                ch.set_out_assigned(n, p, 0);
+            }
+            for ip in 0..=geo.degree {
+                for iv in 0..geo.vcs_at(ip) {
+                    if let RouteState::Out(p, _) = ch.route(n, ip, iv) {
+                        let buffered = ch.fifo_len(n, ip, iv) as u32;
+                        ch.add_out_assigned(n, p.idx(), buffered);
                     }
                 }
             }
-            self.nodes[n].out_assigned = loads;
         }
     }
 
     // ------------------------------------------------------------- views
 
     fn view_data(&self, n: NodeId) -> ViewData {
-        let node = &self.nodes[n.idx()];
         let degree = self.topo.degree();
+        let ni = n.idx();
         let mut out_free = vec![vec![false; self.vcs]; degree];
         let mut link_alive = vec![false; degree];
         for p in 0..degree {
@@ -1057,15 +1169,14 @@ impl Network {
             link_alive[p] = alive;
             if alive {
                 for v in 0..self.vcs {
-                    out_free[p][v] = node.out_channel_free(p, v);
+                    out_free[p][v] = self.chans.out_channel_free(ni, p, v);
                 }
             }
         }
-        let mut out_load = node.out_assigned.clone();
+        let mut out_load = vec![0u32; degree];
         for p in 0..degree {
-            if node.out_reg[p].is_some() {
-                out_load[p] += 1;
-            }
+            out_load[p] =
+                self.chans.out_assigned(ni, p) + self.chans.out_reg(ni, p).is_some() as u32;
         }
         ViewData { out_free, out_load, link_alive }
     }
@@ -1078,12 +1189,12 @@ impl Network {
     /// buffered or in-register flits — instead of dense-scanning the whole
     /// topology; see `DESIGN.md` §12 for the activation invariants. The
     /// retained dense scan ([`Network::set_dense_reference`]) is observably
-    /// identical and serves as the differential-testing oracle.
+    /// identical and serves as the differential-testing oracle. With more
+    /// than one shard the phases run in parallel over disjoint node ranges
+    /// and the cross-shard effects merge at conservative barriers, in
+    /// shard order — bit-identical to the sequential engine (`DESIGN.md`
+    /// §14).
     pub fn step(&mut self) {
-        let topo = Arc::clone(&self.topo);
-        let degree = topo.degree();
-        let mut moved = false;
-
         // 0. scripted fault-plan actions and due retry re-injections
         self.run_plan();
         self.run_retries();
@@ -1094,8 +1205,8 @@ impl Network {
         // guaranteed all-zero sample per node
         if let Some(m) = &self.metrics {
             if self.cycle != 0 && self.cycle.is_multiple_of(OCCUPANCY_SAMPLE_PERIOD) {
-                for node in &self.nodes {
-                    m.buffer_occupancy.observe(node.buffered_flits() as u64);
+                for ni in 0..self.chans.geo().nodes {
+                    m.buffer_occupancy.observe(self.chans.buffered_flits(ni) as u64);
                 }
             }
         }
@@ -1122,211 +1233,45 @@ impl Network {
         let mut cur = std::mem::take(&mut self.scratch.cur);
         cur.clear();
         if self.dense_reference {
-            cur.extend(0..self.nodes.len() as u32);
+            cur.extend(0..self.chans.geo().nodes as u32);
         } else {
             self.active_list.sort_unstable();
             cur.append(&mut self.active_list);
         }
+        for scr in &mut self.shard_scratch {
+            scr.moved = false;
+        }
 
         // 2. link traversal: output registers -> downstream input FIFOs
-        for &ni in &cur {
-            let ni = ni as usize;
-            let n = NodeId(ni as u32);
-            for p in 0..degree {
-                let Some((vc, flit)) = self.nodes[ni].out_reg[p].take() else {
-                    continue;
-                };
-                let port = PortId(p as u8);
-                if !self.faults.link_usable(topo.as_ref(), n, port) {
-                    // flit caught on a just-failed link. The fault injector
-                    // rips every worm touching a dying link, so the message
-                    // is normally already killed and untracked; if it IS
-                    // still live (a fault path that missed the worm),
-                    // dropping the flit silently would leak the message —
-                    // stats accounting would never balance and drain()
-                    // would hang. Kill it through the normal path instead.
-                    if self.stats.tracks(flit.msg) {
-                        self.stats.flits_dropped_on_dead_link += 1;
-                        self.scratch.dropped.insert(flit.msg);
-                    }
-                    continue;
-                }
-                let m = topo.neighbor(n, port).expect("usable link");
-                let q = topo.port_towards(m, n).expect("reverse");
-                self.nodes[m.idx()].inputs[q.idx()][vc.idx()].fifo.push_back(flit);
-                self.mark_active(m.idx());
-                moved = true;
-            }
-        }
-        if !self.scratch.dropped.is_empty() {
-            let dropped = std::mem::take(&mut self.scratch.dropped);
-            self.kill_messages(&dropped, false);
-            self.scratch.dropped = dropped;
-            self.scratch.dropped.clear();
-        }
-
-        // 3. injection: staging -> injection FIFO
-        for &ni in &cur {
-            let node = &mut self.nodes[ni as usize];
-            let inj = node.inputs.len() - 1;
-            while !node.staging.is_empty()
-                && (node.inputs[inj][0].fifo.len() as u32) < self.cfg.buffer_depth
-            {
-                let f = node.staging.pop_front().expect("checked");
-                node.inputs[inj][0].fifo.push_back(f);
-                moved = true;
-            }
-        }
+        // (cross-shard arrivals park in the handoff queues and apply at
+        // the barrier, in shard order = ascending sender order)
+        self.run_phase(PhaseKind::Link, &cur, &cur);
+        self.apply_handoffs_and_marks();
+        self.merge_dropped_and_kill();
 
         // nodes that received their first flit during link traversal must
         // route and arbitrate it THIS cycle, exactly as the dense scan does
+        let mut cur_ext = std::mem::take(&mut self.scratch.cur_ext);
+        cur_ext.clear();
+        cur_ext.extend_from_slice(&cur);
         if !self.dense_reference && !self.active_list.is_empty() {
-            cur.append(&mut self.active_list);
-            cur.sort_unstable();
+            cur_ext.append(&mut self.active_list);
+            cur_ext.sort_unstable();
         }
 
-        // 4. routing decisions
-        let mut unroutable = std::mem::take(&mut self.scratch.unroutable);
-        for &ni in &cur {
-            let n = NodeId(ni);
-            if self.faults.node_faulty(n) {
-                continue;
-            }
-            let nports = self.nodes[ni as usize].inputs.len();
-            for ip in 0..nports {
-                for iv in 0..self.nodes[ni as usize].inputs[ip].len() {
-                    self.route_one(n, ip, iv, &mut unroutable);
-                }
-            }
-        }
-        self.kill_messages(&unroutable, true);
-        unroutable.clear();
-        self.scratch.unroutable = unroutable;
+        // 3. injection (staging -> injection FIFO) + 4. routing decisions;
+        // both touch only node-local state, so they fuse into one parallel
+        // phase — injection over `cur`, routing over `cur_ext`
+        self.run_phase(PhaseKind::InjectRoute, &cur, &cur_ext);
+        self.flush_shards();
+        self.merge_unroutable_and_kill();
 
         // 5. ejection + switch allocation
-        let mut credit_returns = std::mem::take(&mut self.scratch.credit_returns);
-        let mut used = std::mem::take(&mut self.scratch.used);
-        for &ni in &cur {
-            let ni = ni as usize;
-            let n = NodeId(ni as u32);
-            let nports = self.nodes[ni].inputs.len();
-            used.clear();
-            used.resize(nports, false);
+        self.run_phase(PhaseKind::EjectSwitch, &cur, &cur_ext);
+        self.flush_shards();
+        self.apply_credit_returns();
 
-            // ejection first (delivery has priority on the input port)
-            for ip in 0..nports {
-                if used[ip] {
-                    continue;
-                }
-                for iv in 0..self.nodes[ni].inputs[ip].len() {
-                    let vc = &mut self.nodes[ni].inputs[ip][iv];
-                    if vc.route != RouteState::Local || vc.fifo.is_empty() {
-                        continue;
-                    }
-                    let flit = vc.fifo.pop_front().expect("checked");
-                    moved = true;
-                    used[ip] = true;
-                    if let Some(h) = flit.header() {
-                        self.stats.on_head_arrival(flit.msg, h.hops);
-                    }
-                    let is_tail = matches!(flit.kind, FlitKind::Tail)
-                        || matches!(flit.kind, FlitKind::Head(h) if h.len_flits <= 1);
-                    if is_tail {
-                        let meta = self.stats.on_deliver(flit.msg, self.cycle);
-                        self.emit(|| EventKind::Deliver { node: n, msg: flit.msg.0 });
-                        if let Some(m) = &self.metrics {
-                            m.delivered.inc();
-                            if let Some(meta) = meta {
-                                m.latency.observe(self.cycle - meta.inject_cycle);
-                                m.hops.observe(meta.hops as u64);
-                                m.excess_hops
-                                    .observe(meta.hops.saturating_sub(meta.min_dist) as u64);
-                            }
-                        }
-                        self.nodes[ni].inputs[ip][iv].reset_route();
-                    }
-                    if ip < degree {
-                        credit_returns.push((n, PortId(ip as u8), iv));
-                    }
-                    break; // one flit per input port
-                }
-            }
-
-            // switch: one flit per output port, round-robin over inputs
-            for p in 0..degree {
-                if self.nodes[ni].out_reg[p].is_some() {
-                    continue;
-                }
-                let slots = nports * self.vcs;
-                let start = self.nodes[ni].rr[p];
-                let mut winner: Option<(usize, usize, VcId)> = None;
-                // two passes when fairness for misrouted messages is on:
-                // first only misrouted candidates, then everyone
-                let passes: &[bool] =
-                    if self.cfg.prioritize_misrouted { &[true, false] } else { &[false] };
-                'arb: for &misrouted_only in passes {
-                    for off in 0..slots {
-                        let s = (start + off) % slots;
-                        let ip = s / self.vcs;
-                        let iv = s % self.vcs;
-                        if iv >= self.nodes[ni].inputs[ip].len() || used[ip] {
-                            continue;
-                        }
-                        let vc = &self.nodes[ni].inputs[ip][iv];
-                        if misrouted_only && !vc.misrouted {
-                            continue;
-                        }
-                        let RouteState::Out(op, ov) = vc.route else { continue };
-                        if op.idx() != p || vc.fifo.is_empty() {
-                            continue;
-                        }
-                        if self.nodes[ni].outputs[p][ov.idx()].credits == 0 {
-                            continue;
-                        }
-                        winner = Some((ip, iv, ov));
-                        self.nodes[ni].rr[p] = (s + 1) % slots;
-                        break 'arb;
-                    }
-                }
-                let Some((ip, iv, ov)) = winner else { continue };
-                used[ip] = true;
-                let mut flit =
-                    self.nodes[ni].inputs[ip][iv].fifo.pop_front().expect("winner has flit");
-                moved = true;
-                if let Some(h) = flit.header_mut() {
-                    h.hops += 1;
-                }
-                let is_tail = matches!(flit.kind, FlitKind::Tail)
-                    || matches!(flit.kind, FlitKind::Head(h) if h.len_flits <= 1);
-                if is_tail {
-                    self.nodes[ni].inputs[ip][iv].reset_route();
-                    self.nodes[ni].outputs[p][ov.idx()].owner = None;
-                    self.emit(|| EventKind::VcRelease {
-                        node: n,
-                        msg: flit.msg.0,
-                        port: PortId(p as u8),
-                        vc: ov,
-                    });
-                }
-                self.nodes[ni].outputs[p][ov.idx()].credits -= 1;
-                self.nodes[ni].out_assigned[p] = self.nodes[ni].out_assigned[p].saturating_sub(1);
-                self.nodes[ni].out_reg[p] = Some((ov, flit));
-                if ip < degree {
-                    credit_returns.push((n, PortId(ip as u8), iv));
-                }
-            }
-        }
-
-        // apply credit returns to the upstream senders
-        for &(n, p, iv) in &credit_returns {
-            let Some(m) = topo.neighbor(n, p) else { continue };
-            let q = topo.port_towards(m, n).expect("reverse");
-            let c = &mut self.nodes[m.idx()].outputs[q.idx()][iv];
-            c.credits = (c.credits + 1).min(self.cfg.buffer_depth);
-        }
-        credit_returns.clear();
-        self.scratch.credit_returns = credit_returns;
-        self.scratch.used = used;
+        let moved = self.shard_scratch.iter().any(|s| s.moved);
 
         // 6. watchdog (messages waiting out a retry backoff are in flight
         // but legitimately motionless — not a deadlock)
@@ -1351,9 +1296,9 @@ impl Network {
             self.active_list.clear();
         }
         debug_assert!(self.active_list.is_empty());
-        for &ni in &cur {
+        for &ni in &cur_ext {
             let ni = ni as usize;
-            let w = self.nodes[ni].has_work();
+            let w = self.chans.has_work(ni);
             self.active_mask[ni] = w;
             if w {
                 self.active_list.push(ni as u32);
@@ -1361,164 +1306,196 @@ impl Network {
         }
         cur.clear();
         self.scratch.cur = cur;
+        cur_ext.clear();
+        self.scratch.cur_ext = cur_ext;
 
         self.cycle += 1;
     }
 
-    /// Decision handling for one input VC.
-    fn route_one(&mut self, n: NodeId, ip: usize, iv: usize, unroutable: &mut HashSet<MessageId>) {
+    /// Runs one phase over every shard — inline when the working set is
+    /// small (or there is a single shard), on scoped OS threads otherwise.
+    /// Shards only touch their own node range; anything that crosses a
+    /// boundary lands in the shard's scratch for the master to merge.
+    fn run_phase(&mut self, phase: PhaseKind, cur: &[u32], cur_ext: &[u32]) {
         let degree = self.topo.degree();
-        {
-            let vc = &self.nodes[n.idx()].inputs[ip][iv];
-            if vc.route != RouteState::Unrouted {
-                return;
-            }
-            match vc.fifo.front() {
-                Some(f) if f.header().is_some() => {}
-                _ => return,
-            }
-        }
-
-        // advance the decision countdown
-        match self.nodes[n.idx()].inputs[ip][iv].phase {
-            Some(DecisionPhase::Waiting(c)) if c > 1 => {
-                self.nodes[n.idx()].inputs[ip][iv].phase = Some(DecisionPhase::Waiting(c - 1));
-                return;
-            }
-            Some(DecisionPhase::Waiting(_)) => {
-                // latency elapsed this cycle: consult and apply below
-                self.nodes[n.idx()].inputs[ip][iv].phase = Some(DecisionPhase::Ready);
-            }
-            Some(DecisionPhase::Ready) | None => {}
-        }
-
-        // consult the controller
-        let vd = self.view_data(n);
-        let view = vd.view(n, self.cycle);
-        let in_port = if ip < degree { Some(PortId(ip as u8)) } else { None };
-        let header_copy = {
-            let vc = &mut self.nodes[n.idx()].inputs[ip][iv];
-            *vc.fifo.front_mut().and_then(|f| f.header_mut()).expect("head checked")
+        let ctx = StepCtx {
+            topo: self.topo.as_ref(),
+            faults: &self.faults,
+            cfg: self.cfg,
+            vcs: self.vcs,
+            degree,
+            cycle: self.cycle,
+            sink_on: self.sink.is_some(),
         };
-        // destination reached: deliver without consulting the algorithm
-        if header_copy.dst == n {
-            let first_count = {
-                let vc = &mut self.nodes[n.idx()].inputs[ip][iv];
-                vc.route = RouteState::Local;
-                let first = !vc.counted;
-                vc.counted = true;
-                first
-            };
-            if first_count {
-                self.stats.decision_steps.add(0);
-                self.emit(|| EventKind::RouteDecision {
-                    node: n,
-                    msg: header_copy.msg.0,
-                    in_port,
-                    in_vc: VcId(iv as u8),
-                    outcome: RouteOutcome::Deliver,
-                    steps: 0,
-                    misrouted: header_copy.misrouted,
-                });
-                if let Some(m) = &self.metrics {
-                    m.decision_steps.observe(0);
-                }
-            }
-            return;
-        }
-        let mut header = header_copy;
-        let dec = self.ctrls[n.idx()].route(&view, &mut header, in_port, VcId(iv as u8));
+        let views = self.chans.split_mut(&self.shard_bounds);
+        let mut ctrls = self.ctrls.as_mut_slice();
+        let mut tasks: Vec<ShardTask<'_>> = Vec::with_capacity(views.len());
+        for ((ch, scr), w) in
+            views.into_iter().zip(self.shard_scratch.iter_mut()).zip(self.shard_bounds.windows(2))
         {
-            // write back header updates
-            let vc = &mut self.nodes[n.idx()].inputs[ip][iv];
-            if let Some(h) = vc.fifo.front_mut().and_then(|f| f.header_mut()) {
-                *h = header;
-            }
+            let (lo, hi) = (w[0], w[1]);
+            let (head, rest) = ctrls.split_at_mut(hi - lo);
+            ctrls = rest;
+            tasks.push(ShardTask {
+                lo,
+                hi,
+                ch,
+                ctrls: head,
+                scr,
+                cur: sub_range(cur, lo, hi),
+                cur_ext: sub_range(cur_ext, lo, hi),
+            });
         }
-
-        let first_sight = self.nodes[n.idx()].inputs[ip][iv].phase.is_none();
-        if first_sight {
-            if !self.nodes[n.idx()].inputs[ip][iv].counted {
-                self.nodes[n.idx()].inputs[ip][iv].counted = true;
-                self.stats.decision_steps.add(dec.steps as u64);
-                self.emit(|| EventKind::RouteDecision {
-                    node: n,
-                    msg: header_copy.msg.0,
-                    in_port,
-                    in_vc: VcId(iv as u8),
-                    outcome: match dec.verdict {
-                        Verdict::Route(p, v) => RouteOutcome::Routed(p, v),
-                        Verdict::Deliver => RouteOutcome::Deliver,
-                        Verdict::Wait => RouteOutcome::Wait,
-                        Verdict::Unroutable => RouteOutcome::Unroutable,
-                    },
-                    steps: dec.steps,
-                    misrouted: header.misrouted,
-                });
-                if let Some(m) = &self.metrics {
-                    m.decision_steps.observe(dec.steps as u64);
+        let spawn = tasks.len() > 1 && cur_ext.len() >= self.spawn_threshold;
+        if !spawn {
+            for t in tasks.iter_mut() {
+                run_shard(&ctx, phase, t);
+            }
+        } else {
+            let ctx_ref = &ctx;
+            crossbeam::thread::scope(|s| {
+                let (first, rest) = tasks.split_first_mut().expect("at least one shard");
+                for t in rest.iter_mut() {
+                    s.spawn(move |_| run_shard(ctx_ref, phase, t));
                 }
-            }
-            let delay = dec.steps.saturating_mul(self.cfg.decision_cycles_per_step).max(1);
-            if delay > 1 {
-                self.nodes[n.idx()].inputs[ip][iv].phase = Some(DecisionPhase::Waiting(delay - 1));
-                return;
-            }
-            self.nodes[n.idx()].inputs[ip][iv].phase = Some(DecisionPhase::Ready);
+                run_shard(ctx_ref, phase, first);
+            })
+            .expect("simulation shard panicked");
         }
+    }
 
-        // apply the verdict (Ready state retries for free on contention)
-        match dec.verdict {
-            Verdict::Deliver => {
-                self.nodes[n.idx()].inputs[ip][iv].route = RouteState::Local;
-            }
-            Verdict::Wait => {
-                // trace completeness: a waiting head never reaches the
-                // VcStall path (the controller withheld the grant), so the
-                // blocked cycle and the channels that would unblock it are
-                // recorded here — the diagnoser's wait-for edges
-                if self.sink.is_some() {
-                    let wants = self.probe_wants(n, &header, in_port, VcId(iv as u8));
-                    self.emit(|| EventKind::RouteWait { node: n, msg: header_copy.msg.0, wants });
+    /// Barrier after link traversal: applies cross-shard flit handoffs and
+    /// activation marks, in shard order (= ascending sender order, which
+    /// is what the sequential scan produced).
+    fn apply_handoffs_and_marks(&mut self) {
+        for si in 0..self.shard_scratch.len() {
+            let handoff = std::mem::take(&mut self.shard_scratch[si].handoff);
+            {
+                let mut ch = self.chans.full_mut();
+                for h in &handoff {
+                    ch.fifo_push_back(h.node as usize, h.port as usize, h.vc as usize, h.flit);
                 }
             }
-            Verdict::Unroutable => {
-                unroutable.insert(header_copy.msg);
+            for h in &handoff {
+                self.mark_active(h.node as usize);
             }
-            Verdict::Route(p, v) => {
-                let ok = p.idx() < degree
-                    && v.idx() < self.vcs
-                    && self.faults.link_usable(self.topo.as_ref(), n, p)
-                    && self.nodes[n.idx()].out_channel_free(p.idx(), v.idx());
-                if !ok {
-                    // granted a route but the output channel is unusable
-                    // this cycle: a VC-allocation stall
-                    self.emit(|| EventKind::VcStall {
-                        node: n,
-                        msg: header_copy.msg.0,
-                        port: p,
-                        vc: v,
-                    });
-                }
-                if ok {
-                    let misrouted = self.nodes[n.idx()].inputs[ip][iv]
-                        .fifo
-                        .front()
-                        .and_then(|f| f.header())
-                        .is_some_and(|h| h.misrouted);
-                    let node = &mut self.nodes[n.idx()];
-                    node.outputs[p.idx()][v.idx()].owner = Some(header_copy.msg);
-                    node.inputs[ip][iv].route = RouteState::Out(p, v);
-                    node.inputs[ip][iv].misrouted = misrouted;
-                    node.out_assigned[p.idx()] += header_copy.len_flits;
-                    self.emit(|| EventKind::VcAcquire {
-                        node: n,
-                        msg: header_copy.msg.0,
-                        port: p,
-                        vc: v,
-                    });
+            let mut handoff = handoff;
+            handoff.clear();
+            self.shard_scratch[si].handoff = handoff;
+            let newly = std::mem::take(&mut self.shard_scratch[si].newly_active);
+            for &ni in &newly {
+                self.mark_active(ni as usize);
+            }
+            let mut newly = newly;
+            newly.clear();
+            self.shard_scratch[si].newly_active = newly;
+        }
+    }
+
+    /// Barrier after link traversal, part 2: flits caught on just-dead
+    /// links. The shards report candidates; the master applies the
+    /// liveness gate and the kill, exactly as the sequential loop did.
+    fn merge_dropped_and_kill(&mut self) {
+        let mut any = false;
+        for si in 0..self.shard_scratch.len() {
+            let dropped = std::mem::take(&mut self.shard_scratch[si].dropped);
+            for &msg in &dropped {
+                // flit caught on a just-failed link. The fault injector
+                // rips every worm touching a dying link, so the message is
+                // normally already killed and untracked; if it IS still
+                // live (a fault path that missed the worm), dropping the
+                // flit silently would leak the message — stats accounting
+                // would never balance and drain() would hang. Kill it
+                // through the normal path instead.
+                if self.stats.tracks(msg) {
+                    self.stats.flits_dropped_on_dead_link += 1;
+                    self.scratch.dropped.insert(msg);
+                    any = true;
                 }
             }
+            let mut dropped = dropped;
+            dropped.clear();
+            self.shard_scratch[si].dropped = dropped;
+        }
+        if any {
+            let dropped = std::mem::take(&mut self.scratch.dropped);
+            self.kill_messages(&dropped, false);
+            self.scratch.dropped = dropped;
+            self.scratch.dropped.clear();
+        }
+    }
+
+    /// Barrier after routing: merges per-shard unroutable verdicts and
+    /// kills them (trace/retry order is id-sorted inside kill_messages, so
+    /// the merge order does not leak).
+    fn merge_unroutable_and_kill(&mut self) {
+        let mut unroutable = std::mem::take(&mut self.scratch.unroutable);
+        for scr in &mut self.shard_scratch {
+            unroutable.extend(scr.unroutable.drain(..));
+        }
+        self.kill_messages(&unroutable, true);
+        unroutable.clear();
+        self.scratch.unroutable = unroutable;
+    }
+
+    /// Drains per-shard trace events into the sink and replays per-shard
+    /// stats ops, in shard order — concatenating the shard-local streams
+    /// reproduces the sequential ascending-node emission order.
+    fn flush_shards(&mut self) {
+        for si in 0..self.shard_scratch.len() {
+            let mut events = std::mem::take(&mut self.shard_scratch[si].events);
+            if let Some(sink) = &self.sink {
+                for e in &events {
+                    sink.record(e);
+                }
+            }
+            events.clear();
+            self.shard_scratch[si].events = events;
+            let mut ops = std::mem::take(&mut self.shard_scratch[si].ops);
+            for op in ops.drain(..) {
+                match op {
+                    StatOp::Decision(steps) => {
+                        self.stats.decision_steps.add(steps);
+                        if let Some(m) = &self.metrics {
+                            m.decision_steps.observe(steps);
+                        }
+                    }
+                    StatOp::HeadArrival(msg, hops) => self.stats.on_head_arrival(msg, hops),
+                    StatOp::Deliver(msg) => {
+                        let meta = self.stats.on_deliver(msg, self.cycle);
+                        if let Some(m) = &self.metrics {
+                            m.delivered.inc();
+                            if let Some(meta) = meta {
+                                m.latency.observe(self.cycle - meta.inject_cycle);
+                                m.hops.observe(meta.hops as u64);
+                                m.excess_hops
+                                    .observe(meta.hops.saturating_sub(meta.min_dist) as u64);
+                            }
+                        }
+                    }
+                }
+            }
+            self.shard_scratch[si].ops = ops;
+        }
+    }
+
+    /// Barrier after ejection/switch: returns freed credits to the
+    /// upstream senders (each input lane frees at most one slot per cycle,
+    /// so the increments commute; shard order matches the sequential
+    /// application order anyway).
+    fn apply_credit_returns(&mut self) {
+        let topo = Arc::clone(&self.topo);
+        let depth = self.cfg.buffer_depth;
+        let mut ch = self.chans.full_mut();
+        for scr in &mut self.shard_scratch {
+            for &(ni, p, iv) in &scr.credit_returns {
+                let n = NodeId(ni);
+                let Some(m) = topo.neighbor(n, PortId(p)) else { continue };
+                let q = topo.port_towards(m, n).expect("reverse");
+                let c = ch.out_credits(m.idx(), q.idx(), iv as usize);
+                ch.set_out_credits(m.idx(), q.idx(), iv as usize, (c + 1).min(depth));
+            }
+            scr.credit_returns.clear();
         }
     }
 
@@ -1549,39 +1526,42 @@ impl Network {
     /// stuck or deadlocked networks.
     pub fn dump_occupancy(&self) -> String {
         use std::fmt::Write as _;
+        let geo = self.chans.geo();
         let mut s = String::new();
-        for (ni, node) in self.nodes.iter().enumerate() {
-            for (ip, inputs) in node.inputs.iter().enumerate() {
-                for (iv, vc) in inputs.iter().enumerate() {
-                    if !vc.fifo.is_empty() {
+        for ni in 0..geo.nodes {
+            for ip in 0..=geo.degree {
+                for iv in 0..geo.vcs_at(ip) {
+                    if self.chans.fifo_len(ni, ip, iv) != 0 {
                         let _ = writeln!(
                             s,
                             "n{ni} in[{ip}][{iv}] route={:?} phase={:?} flits={:?}",
-                            vc.route,
-                            vc.phase,
-                            vc.fifo.iter().map(|f| (f.msg, f.seq)).collect::<Vec<_>>()
+                            self.chans.route(ni, ip, iv),
+                            self.chans.phase_of(ni, ip, iv),
+                            self.chans
+                                .fifo_iter(ni, ip, iv)
+                                .map(|f| (f.msg, f.seq))
+                                .collect::<Vec<_>>()
                         );
                     }
                 }
             }
-            for (p, reg) in node.out_reg.iter().enumerate() {
-                if let Some((v, f)) = reg {
+            for p in 0..geo.degree {
+                if let Some((v, f)) = self.chans.out_reg(ni, p) {
                     let _ = writeln!(s, "n{ni} outreg[{p}] vc={v} msg={:?}", f.msg);
                 }
             }
-            for (p, outs) in node.outputs.iter().enumerate() {
-                for (v, o) in outs.iter().enumerate() {
-                    if o.owner.is_some() || o.credits != self.cfg.buffer_depth {
-                        let _ = writeln!(
-                            s,
-                            "n{ni} out[{p}][{v}] owner={:?} credits={}",
-                            o.owner, o.credits
-                        );
+            for p in 0..geo.degree {
+                for v in 0..geo.vcs {
+                    let owner = self.chans.out_owner(ni, p, v);
+                    let credits = self.chans.out_credits(ni, p, v);
+                    if owner.is_some() || credits != self.cfg.buffer_depth {
+                        let _ =
+                            writeln!(s, "n{ni} out[{p}][{v}] owner={owner:?} credits={credits}");
                     }
                 }
             }
-            if !node.staging.is_empty() {
-                let _ = writeln!(s, "n{ni} staging={}", node.staging.len());
+            if !self.chans.staging(ni).is_empty() {
+                let _ = writeln!(s, "n{ni} staging={}", self.chans.staging(ni).len());
             }
         }
         s
@@ -1591,6 +1571,420 @@ impl Network {
     pub fn controller(&self, n: NodeId) -> &dyn NodeController {
         self.ctrls[n.idx()].as_ref()
     }
+}
+
+/// Restricts a sorted node-id slice to the half-open range `lo..hi`.
+fn sub_range(xs: &[u32], lo: usize, hi: usize) -> &[u32] {
+    let a = xs.partition_point(|&x| (x as usize) < lo);
+    let b = xs.partition_point(|&x| (x as usize) < hi);
+    &xs[a..b]
+}
+
+/// Executes one phase bundle for one shard. Free function so it can run
+/// on a scoped worker thread without borrowing the `Network`.
+fn run_shard(ctx: &StepCtx<'_>, phase: PhaseKind, t: &mut ShardTask<'_>) {
+    match phase {
+        PhaseKind::Link => phase_link(ctx, t),
+        PhaseKind::InjectRoute => {
+            phase_inject(ctx, t);
+            phase_route(ctx, t);
+        }
+        PhaseKind::EjectSwitch => phase_eject_switch(ctx, t),
+    }
+}
+
+/// Link traversal: drains each active node's output registers into the
+/// downstream input FIFOs (in-shard) or the handoff queue (cross-shard).
+fn phase_link(ctx: &StepCtx<'_>, t: &mut ShardTask<'_>) {
+    for &ni in t.cur {
+        let n = NodeId(ni);
+        let ni = ni as usize;
+        for p in 0..ctx.degree {
+            let Some((vc, flit)) = t.ch.take_out_reg(ni, p) else {
+                continue;
+            };
+            let port = PortId(p as u8);
+            if !ctx.faults.link_usable(ctx.topo, n, port) {
+                // caught on a just-dead link — the master applies the
+                // liveness gate and kills through the normal path
+                t.scr.dropped.push(flit.msg);
+                continue;
+            }
+            let m = ctx.topo.neighbor(n, port).expect("usable link");
+            let q = ctx.topo.port_towards(m, n).expect("reverse");
+            if m.idx() >= t.lo && m.idx() < t.hi {
+                t.ch.fifo_push_back(m.idx(), q.idx(), vc.idx(), flit);
+                t.scr.newly_active.push(m.idx() as u32);
+            } else {
+                t.scr.handoff.push(Handoff { node: m.0, port: q.0, vc: vc.0, flit });
+            }
+            t.scr.moved = true;
+        }
+    }
+}
+
+/// Injection: staging queue -> injection FIFO, bounded by buffer depth.
+fn phase_inject(ctx: &StepCtx<'_>, t: &mut ShardTask<'_>) {
+    for &ni in t.cur {
+        let ni = ni as usize;
+        while !t.ch.staging(ni).is_empty()
+            && t.ch.fifo_len(ni, ctx.degree, 0) < ctx.cfg.buffer_depth as usize
+        {
+            let f = t.ch.staging_mut(ni).pop_front().expect("checked");
+            t.ch.fifo_push_back(ni, ctx.degree, 0, f);
+            t.scr.moved = true;
+        }
+    }
+}
+
+/// Routing decisions over the extended working set.
+fn phase_route(ctx: &StepCtx<'_>, t: &mut ShardTask<'_>) {
+    for &ni in t.cur_ext {
+        let n = NodeId(ni);
+        if ctx.faults.node_faulty(n) {
+            continue;
+        }
+        for ip in 0..=ctx.degree {
+            let lanes = if ip == ctx.degree { 1 } else { ctx.vcs };
+            for iv in 0..lanes {
+                route_one(ctx, t, n, ip, iv);
+            }
+        }
+    }
+}
+
+/// Decision handling for one input VC.
+fn route_one(ctx: &StepCtx<'_>, t: &mut ShardTask<'_>, n: NodeId, ip: usize, iv: usize) {
+    let ni = n.idx();
+    if t.ch.route(ni, ip, iv) != RouteState::Unrouted {
+        return;
+    }
+    match t.ch.fifo_front(ni, ip, iv) {
+        Some(f) if f.header().is_some() => {}
+        _ => return,
+    }
+
+    // advance the decision countdown
+    match t.ch.phase_of(ni, ip, iv) {
+        Some(DecisionPhase::Waiting(c)) if c > 1 => {
+            t.ch.set_phase(ni, ip, iv, Some(DecisionPhase::Waiting(c - 1)));
+            return;
+        }
+        Some(DecisionPhase::Waiting(_)) => {
+            // latency elapsed this cycle: consult and apply below
+            t.ch.set_phase(ni, ip, iv, Some(DecisionPhase::Ready));
+        }
+        Some(DecisionPhase::Ready) | None => {}
+    }
+
+    let in_port = if ip < ctx.degree { Some(PortId(ip as u8)) } else { None };
+    let header_copy =
+        *t.ch.fifo_front_mut(ni, ip, iv).and_then(|f| f.header_mut()).expect("head checked");
+
+    // destination reached: deliver without consulting the algorithm
+    if header_copy.dst == n {
+        t.ch.set_route(ni, ip, iv, RouteState::Local);
+        let first = !t.ch.counted(ni, ip, iv);
+        t.ch.set_counted(ni, ip, iv, true);
+        if first {
+            t.scr.ops.push(StatOp::Decision(0));
+            emit_sh(ctx, t.scr, || EventKind::RouteDecision {
+                node: n,
+                msg: header_copy.msg.0,
+                in_port,
+                in_vc: VcId(iv as u8),
+                outcome: RouteOutcome::Deliver,
+                steps: 0,
+                misrouted: header_copy.misrouted,
+            });
+        }
+        return;
+    }
+
+    // consult the controller
+    let vd = view_data_sh(ctx, &t.ch, n);
+    let view = vd.view(n, ctx.cycle);
+    let mut header = header_copy;
+    let dec = t.ctrls[ni - t.lo].route(&view, &mut header, in_port, VcId(iv as u8));
+    // write back header updates
+    if let Some(h) = t.ch.fifo_front_mut(ni, ip, iv).and_then(|f| f.header_mut()) {
+        *h = header;
+    }
+
+    let first_sight = t.ch.phase_of(ni, ip, iv).is_none();
+    if first_sight {
+        if !t.ch.counted(ni, ip, iv) {
+            t.ch.set_counted(ni, ip, iv, true);
+            t.scr.ops.push(StatOp::Decision(dec.steps as u64));
+            emit_sh(ctx, t.scr, || EventKind::RouteDecision {
+                node: n,
+                msg: header_copy.msg.0,
+                in_port,
+                in_vc: VcId(iv as u8),
+                outcome: match dec.verdict {
+                    Verdict::Route(p, v) => RouteOutcome::Routed(p, v),
+                    Verdict::Deliver => RouteOutcome::Deliver,
+                    Verdict::Wait => RouteOutcome::Wait,
+                    Verdict::Unroutable => RouteOutcome::Unroutable,
+                },
+                steps: dec.steps,
+                misrouted: header.misrouted,
+            });
+        }
+        let delay = dec.steps.saturating_mul(ctx.cfg.decision_cycles_per_step).max(1);
+        if delay > 1 {
+            t.ch.set_phase(ni, ip, iv, Some(DecisionPhase::Waiting(delay - 1)));
+            return;
+        }
+        t.ch.set_phase(ni, ip, iv, Some(DecisionPhase::Ready));
+    }
+
+    // apply the verdict (Ready state retries for free on contention)
+    match dec.verdict {
+        Verdict::Deliver => {
+            t.ch.set_route(ni, ip, iv, RouteState::Local);
+        }
+        Verdict::Wait => {
+            // trace completeness: a waiting head never reaches the
+            // VcStall path (the controller withheld the grant), so the
+            // blocked cycle and the channels that would unblock it are
+            // recorded here — the diagnoser's wait-for edges
+            if ctx.sink_on {
+                let wants = probe_wants_sh(
+                    ctx,
+                    &mut t.ctrls[ni - t.lo],
+                    n,
+                    &header,
+                    in_port,
+                    VcId(iv as u8),
+                );
+                emit_sh(ctx, t.scr, || EventKind::RouteWait {
+                    node: n,
+                    msg: header_copy.msg.0,
+                    wants,
+                });
+            }
+        }
+        Verdict::Unroutable => {
+            t.scr.unroutable.push(header_copy.msg);
+        }
+        Verdict::Route(p, v) => {
+            let ok = p.idx() < ctx.degree
+                && v.idx() < ctx.vcs
+                && ctx.faults.link_usable(ctx.topo, n, p)
+                && t.ch.out_channel_free(ni, p.idx(), v.idx());
+            if !ok {
+                // granted a route but the output channel is unusable
+                // this cycle: a VC-allocation stall
+                emit_sh(ctx, t.scr, || EventKind::VcStall {
+                    node: n,
+                    msg: header_copy.msg.0,
+                    port: p,
+                    vc: v,
+                });
+            }
+            if ok {
+                let misrouted =
+                    t.ch.fifo_front(ni, ip, iv)
+                        .and_then(|f| f.header())
+                        .is_some_and(|h| h.misrouted);
+                t.ch.set_out_owner(ni, p.idx(), v.idx(), Some(header_copy.msg));
+                t.ch.set_route(ni, ip, iv, RouteState::Out(p, v));
+                t.ch.set_misrouted(ni, ip, iv, misrouted);
+                t.ch.add_out_assigned(ni, p.idx(), header_copy.len_flits);
+                emit_sh(ctx, t.scr, || EventKind::VcAcquire {
+                    node: n,
+                    msg: header_copy.msg.0,
+                    port: p,
+                    vc: v,
+                });
+            }
+        }
+    }
+}
+
+/// Ejection then switch allocation over the extended working set.
+fn phase_eject_switch(ctx: &StepCtx<'_>, t: &mut ShardTask<'_>) {
+    let nports = ctx.degree + 1;
+    for &ni in t.cur_ext {
+        let n = NodeId(ni);
+        let ni = ni as usize;
+        t.scr.used.clear();
+        t.scr.used.resize(nports, false);
+
+        // ejection first (delivery has priority on the input port)
+        for ip in 0..nports {
+            if t.scr.used[ip] {
+                continue;
+            }
+            let lanes = if ip == ctx.degree { 1 } else { ctx.vcs };
+            for iv in 0..lanes {
+                if t.ch.route(ni, ip, iv) != RouteState::Local || t.ch.fifo_len(ni, ip, iv) == 0 {
+                    continue;
+                }
+                let flit = t.ch.fifo_pop_front(ni, ip, iv).expect("checked");
+                t.scr.moved = true;
+                t.scr.used[ip] = true;
+                if let Some(h) = flit.header() {
+                    t.scr.ops.push(StatOp::HeadArrival(flit.msg, h.hops));
+                }
+                let is_tail = matches!(flit.kind, FlitKind::Tail)
+                    || matches!(flit.kind, FlitKind::Head(h) if h.len_flits <= 1);
+                if is_tail {
+                    t.scr.ops.push(StatOp::Deliver(flit.msg));
+                    emit_sh(ctx, t.scr, || EventKind::Deliver { node: n, msg: flit.msg.0 });
+                    t.ch.reset_route(ni, ip, iv);
+                }
+                if ip < ctx.degree {
+                    t.scr.credit_returns.push((ni as u32, ip as u8, iv as u8));
+                }
+                break; // one flit per input port
+            }
+        }
+
+        // switch: one flit per output port, round-robin over inputs
+        for p in 0..ctx.degree {
+            if t.ch.out_reg(ni, p).is_some() {
+                continue;
+            }
+            let slots = nports * ctx.vcs;
+            let start = t.ch.rr(ni, p) as usize;
+            let mut winner: Option<(usize, usize, VcId)> = None;
+            // two passes when fairness for misrouted messages is on:
+            // first only misrouted candidates, then everyone
+            let passes: &[bool] =
+                if ctx.cfg.prioritize_misrouted { &[true, false] } else { &[false] };
+            'arb: for &misrouted_only in passes {
+                for off in 0..slots {
+                    let s = (start + off) % slots;
+                    let ip = s / ctx.vcs;
+                    let iv = s % ctx.vcs;
+                    let lanes = if ip == ctx.degree { 1 } else { ctx.vcs };
+                    if iv >= lanes || t.scr.used[ip] {
+                        continue;
+                    }
+                    if misrouted_only && !t.ch.misrouted(ni, ip, iv) {
+                        continue;
+                    }
+                    let RouteState::Out(op, ov) = t.ch.route(ni, ip, iv) else { continue };
+                    if op.idx() != p || t.ch.fifo_len(ni, ip, iv) == 0 {
+                        continue;
+                    }
+                    if t.ch.out_credits(ni, p, ov.idx()) == 0 {
+                        continue;
+                    }
+                    winner = Some((ip, iv, ov));
+                    t.ch.set_rr(ni, p, ((s + 1) % slots) as u32);
+                    break 'arb;
+                }
+            }
+            let Some((ip, iv, ov)) = winner else { continue };
+            t.scr.used[ip] = true;
+            let mut flit = t.ch.fifo_pop_front(ni, ip, iv).expect("winner has flit");
+            t.scr.moved = true;
+            if let Some(h) = flit.header_mut() {
+                h.hops += 1;
+            }
+            let is_tail = matches!(flit.kind, FlitKind::Tail)
+                || matches!(flit.kind, FlitKind::Head(h) if h.len_flits <= 1);
+            if is_tail {
+                t.ch.reset_route(ni, ip, iv);
+                t.ch.set_out_owner(ni, p, ov.idx(), None);
+                emit_sh(ctx, t.scr, || EventKind::VcRelease {
+                    node: n,
+                    msg: flit.msg.0,
+                    port: PortId(p as u8),
+                    vc: ov,
+                });
+            }
+            let c = t.ch.out_credits(ni, p, ov.idx());
+            t.ch.set_out_credits(ni, p, ov.idx(), c - 1);
+            t.ch.sub_out_assigned_sat(ni, p, 1);
+            t.ch.set_out_reg(ni, p, Some((ov, flit)));
+            if ip < ctx.degree {
+                t.scr.credit_returns.push((ni as u32, ip as u8, iv as u8));
+            }
+        }
+    }
+}
+
+/// Shard-side trace emission: buffers the event for the barrier flush
+/// (the closure only runs when a sink is attached).
+#[inline]
+fn emit_sh(ctx: &StepCtx<'_>, scr: &mut ShardScratch, kind: impl FnOnce() -> EventKind) {
+    if ctx.sink_on {
+        scr.events.push(TraceEvent { cycle: ctx.cycle, kind: kind() });
+    }
+}
+
+/// Shard-side [`ViewData`] snapshot — same shape as the master's
+/// `Network::view_data`, reading through the shard's arena view.
+fn view_data_sh(ctx: &StepCtx<'_>, ch: &ChanRef<'_>, n: NodeId) -> ViewData {
+    let ni = n.idx();
+    let mut out_free = vec![vec![false; ctx.vcs]; ctx.degree];
+    let mut link_alive = vec![false; ctx.degree];
+    for p in 0..ctx.degree {
+        let alive = ctx.faults.link_usable(ctx.topo, n, PortId(p as u8));
+        link_alive[p] = alive;
+        if alive {
+            for v in 0..ctx.vcs {
+                out_free[p][v] = ch.out_channel_free(ni, p, v);
+            }
+        }
+    }
+    let mut out_load = vec![0u32; ctx.degree];
+    for p in 0..ctx.degree {
+        out_load[p] = ch.out_assigned(ni, p) + ch.out_reg(ni, p).is_some() as u32;
+    }
+    ViewData { out_free, out_load, link_alive }
+}
+
+/// Output channels the controller would accept *right now* for a head it
+/// asked to wait: each live `(port, vc)` is probed under a synthetic view
+/// where exactly that channel is free, and kept when the controller grants
+/// it. Runs only while a trace sink is attached (the `RouteWait` wait-for
+/// edges); header mutations made by the probed decisions are discarded, so
+/// a controller whose `route` is a pure function of view + header — every
+/// in-tree algorithm — is unperturbed.
+fn probe_wants_sh(
+    ctx: &StepCtx<'_>,
+    ctrl: &mut Box<dyn NodeController>,
+    n: NodeId,
+    header: &Header,
+    in_port: Option<PortId>,
+    in_vc: VcId,
+) -> Vec<(PortId, VcId)> {
+    let mut link_alive = vec![false; ctx.degree];
+    for (p, alive) in link_alive.iter_mut().enumerate() {
+        *alive = ctx.faults.link_usable(ctx.topo, n, PortId(p as u8));
+    }
+    let out_load = vec![0u32; ctx.degree];
+    let mut out_free = vec![vec![false; ctx.vcs]; ctx.degree];
+    let mut wants = Vec::new();
+    for p in 0..ctx.degree {
+        if !link_alive[p] {
+            continue;
+        }
+        for v in 0..ctx.vcs {
+            out_free[p][v] = true;
+            let view = RouterView {
+                node: n,
+                cycle: ctx.cycle,
+                out_free: &out_free,
+                out_load: &out_load,
+                link_alive: &link_alive,
+            };
+            let mut h = *header;
+            let dec = ctrl.route(&view, &mut h, in_port, in_vc);
+            out_free[p][v] = false;
+            if let Verdict::Route(rp, rv) = dec.verdict {
+                if rp.idx() == p && rv.idx() == v {
+                    wants.push((PortId(p as u8), VcId(v as u8)));
+                }
+            }
+        }
+    }
+    wants
 }
 
 /// Owned per-node snapshot backing a [`RouterView`].
@@ -2048,12 +2442,12 @@ mod tests {
         // advance until a flit of the worm sits on the (1,1)->(2,1) link
         let hot = topo.node_at(1, 1);
         for _ in 0..50 {
-            if net.nodes[hot.idx()].out_reg[EAST.idx()].is_some() {
+            if net.output_register_occupied(hot, EAST) {
                 break;
             }
             net.step();
         }
-        assert!(net.nodes[hot.idx()].out_reg[EAST.idx()].is_some(), "worm must reach the link");
+        assert!(net.output_register_occupied(hot, EAST), "worm must reach the link");
         // rip the link out from under the engine without killing the worm
         let t = Arc::clone(&net.topo);
         net.faults.fail_link(t.as_ref(), hot, EAST);
@@ -2109,7 +2503,7 @@ mod tests {
             net.step();
             for n in topo.nodes() {
                 let active = net.active_mask[n.idx()];
-                assert_eq!(active, net.nodes[n.idx()].has_work(), "node {n} at {}", net.cycle());
+                assert_eq!(active, net.chans.has_work(n.idx()), "node {n} at {}", net.cycle());
             }
         }
     }
@@ -2157,5 +2551,70 @@ mod tests {
         assert!(act.stats.injected_msgs > 100, "traffic actually flowed");
         assert_eq!(act.stats, dense.stats, "bit-identical stats");
         assert_eq!(sink_a.events(), sink_d.events(), "bit-identical trace streams");
+    }
+
+    #[test]
+    fn sharded_step_is_bit_identical_and_spawns_real_threads() {
+        // the E15-shaped workload of the lockstep test above, run on one,
+        // two (inline) and three (forced OS-thread) shards — stats and
+        // trace streams must be bit-identical across all of them
+        let mk = |threads: usize, spawn_threshold: usize| {
+            let topo = Arc::new(Mesh2D::new(5, 5));
+            let algo = Xy { mesh: (*topo).clone(), steps: 2 };
+            let plan = FaultPlan::new().transient_link(40, NodeId(6), EAST, 80).transient_node(
+                100,
+                NodeId(12),
+                120,
+            );
+            let sink = Arc::new(ftr_obs::RingSink::new(1 << 16));
+            let mut net = Network::builder(topo.clone())
+                .threads(threads)
+                .spawn_threshold(spawn_threshold)
+                .fault_plan(plan)
+                .retry(RetryPolicy { max_attempts: 3, backoff_cycles: 10 })
+                .trace(sink.clone())
+                .build(&algo)
+                .expect("valid");
+            net.set_measuring(true);
+            (topo, net, sink)
+        };
+        let (topo, mut seq, sink_1) = mk(1, usize::MAX);
+        let (_, mut two, sink_2) = mk(2, usize::MAX); // multi-shard, inline
+        let (_, mut os3, sink_3) = mk(3, 0); // multi-shard, forced OS threads
+        assert_eq!(seq.threads(), 1);
+        assert_eq!(two.threads(), 2);
+        assert_eq!(os3.threads(), 3);
+        let mut tfs: Vec<TrafficSource> =
+            (0..3).map(|_| TrafficSource::new(Pattern::Uniform, 0.15, 4, 9)).collect();
+        for _ in 0..400 {
+            for (net, tf) in [&mut seq, &mut two, &mut os3].into_iter().zip(tfs.iter_mut()) {
+                for (s, d, l) in tf.tick(topo.as_ref(), net.faults()) {
+                    let _ = net.send(s, d, l);
+                }
+                net.step();
+            }
+            assert_eq!(seq.last_step_moved(), two.last_step_moved(), "cycle {}", seq.cycle());
+            assert_eq!(seq.last_step_moved(), os3.last_step_moved(), "cycle {}", seq.cycle());
+        }
+        while (seq.in_flight() > 0 || two.in_flight() > 0 || os3.in_flight() > 0)
+            && seq.cycle() < 10_000
+        {
+            seq.step();
+            two.step();
+            os3.step();
+        }
+        assert!(seq.stats.injected_msgs > 100, "traffic actually flowed");
+        assert_eq!(seq.stats, two.stats, "2-shard stats bit-identical");
+        assert_eq!(seq.stats, os3.stats, "3-shard (OS threads) stats bit-identical");
+        assert_eq!(sink_1.events(), sink_2.events(), "2-shard trace bit-identical");
+        assert_eq!(sink_1.events(), sink_3.events(), "3-shard trace bit-identical");
+    }
+
+    #[test]
+    fn threads_cap_at_node_count() {
+        let topo = Arc::new(Mesh2D::new(3, 3));
+        let algo = Xy { mesh: (*topo).clone(), steps: 1 };
+        let net = Network::builder(topo.clone()).threads(64).build(&algo).expect("valid");
+        assert_eq!(net.threads(), 9, "shards cap at the node count");
     }
 }

@@ -1,15 +1,14 @@
-//! Per-node router microarchitecture: input-buffered virtual channels,
-//! credit-based flow control, one-flit-per-cycle links.
+//! Per-input-VC routing state of the router microarchitecture.
 //!
-//! This is the "data path" half of Figure 1/3: input buffers with one FIFO
-//! per virtual channel, a connection unit (crossbar with per-output
-//! round-robin arbitration), output registers onto the links, and credit
-//! counters tracking downstream buffer space. The control half (routing)
-//! lives behind the [`crate::routing::NodeController`] trait.
+//! The data-path half of Figure 1/3 — input FIFOs per virtual channel,
+//! credit counters, output registers, round-robin connection unit — lives
+//! in the struct-of-arrays `crate::arena`; this module keeps the small
+//! state machines each input VC carries: the current [`RouteState`] of the
+//! message at the FIFO front and the [`DecisionPhase`] of its pending
+//! routing decision. The control half (routing) lives behind the
+//! [`crate::routing::NodeController`] trait.
 
-use crate::flit::Flit;
 use ftr_topo::{PortId, VcId};
-use std::collections::VecDeque;
 
 /// Routing state of one input virtual channel.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -30,157 +29,4 @@ pub enum DecisionPhase {
     /// The decision latency elapsed; the verdict applies (and is retried
     /// for free on contention).
     Ready,
-}
-
-/// One input virtual channel.
-#[derive(Clone, Debug)]
-pub struct InputVc {
-    /// Buffered flits (capacity enforced by upstream credits).
-    pub fifo: VecDeque<Flit>,
-    /// Current route of the message at the front.
-    pub route: RouteState,
-    /// Decision progress (`None` = head not yet seen).
-    pub phase: Option<DecisionPhase>,
-    /// Whether the decision steps of the current head were already counted.
-    pub counted: bool,
-    /// The routed message was misrouted by faults (fairness hint for the
-    /// switch allocator, §3 "Scheduling and Fairness").
-    pub misrouted: bool,
-}
-
-impl InputVc {
-    fn new() -> Self {
-        InputVc {
-            fifo: VecDeque::new(),
-            route: RouteState::Unrouted,
-            phase: None,
-            counted: false,
-            misrouted: false,
-        }
-    }
-
-    /// Resets per-message decision state (after a tail leaves or a kill).
-    pub fn reset_route(&mut self) {
-        self.route = RouteState::Unrouted;
-        self.phase = None;
-        self.counted = false;
-        self.misrouted = false;
-    }
-}
-
-/// One output virtual channel: allocation state + credits.
-#[derive(Clone, Copy, Debug)]
-pub struct OutputVc {
-    /// Message currently holding this channel (set from head until tail).
-    pub owner: Option<crate::flit::MessageId>,
-    /// Free buffer slots in the downstream input FIFO.
-    pub credits: u32,
-}
-
-/// The router of one node.
-#[derive(Clone, Debug)]
-pub struct RouterNode {
-    /// `[port][vc]` input units; `port == degree` is the injection port
-    /// (single VC at index 0).
-    pub inputs: Vec<Vec<InputVc>>,
-    /// `[port][vc]` output units.
-    pub outputs: Vec<Vec<OutputVc>>,
-    /// Per port: flit placed on the link this cycle (with its VC tag).
-    pub out_reg: Vec<Option<(VcId, Flit)>>,
-    /// Per output port: round-robin arbitration pointer.
-    pub rr: Vec<usize>,
-    /// Locally generated flits waiting to enter the injection FIFO.
-    pub staging: VecDeque<Flit>,
-    /// Per port: flits still assigned to this output (adaptivity signal).
-    pub out_assigned: Vec<u32>,
-}
-
-impl RouterNode {
-    /// Builds a node with `degree` network ports + 1 injection port,
-    /// `vcs` virtual channels and `depth` flits of buffer per VC.
-    pub fn new(degree: usize, vcs: usize, depth: u32) -> Self {
-        let mut inputs: Vec<Vec<InputVc>> =
-            (0..degree).map(|_| (0..vcs).map(|_| InputVc::new()).collect()).collect();
-        inputs.push(vec![InputVc::new()]); // injection port, one lane
-        RouterNode {
-            inputs,
-            outputs: (0..degree)
-                .map(|_| (0..vcs).map(|_| OutputVc { owner: None, credits: depth }).collect())
-                .collect(),
-            out_reg: vec![None; degree],
-            rr: vec![0; degree],
-            staging: VecDeque::new(),
-            out_assigned: vec![0; degree],
-        }
-    }
-
-    /// Index of the injection pseudo-port.
-    pub fn injection_port(&self) -> usize {
-        self.inputs.len() - 1
-    }
-
-    /// Total flits buffered in this router (inputs + output registers),
-    /// excluding the staging queue.
-    pub fn buffered_flits(&self) -> usize {
-        let inp: usize = self.inputs.iter().flatten().map(|vc| vc.fifo.len()).sum();
-        let reg = self.out_reg.iter().filter(|r| r.is_some()).count();
-        inp + reg
-    }
-
-    /// Whether this node has any flit-bearing work for the engine: flits
-    /// staged for injection, buffered in an input FIFO, or sitting in an
-    /// output register. This is the activation predicate of the network's
-    /// active-set scheduler — a node without work is skipped by every
-    /// phase of [`crate::Network::step`] with no observable difference.
-    pub fn has_work(&self) -> bool {
-        !self.staging.is_empty()
-            || self.out_reg.iter().any(|r| r.is_some())
-            || self.inputs.iter().flatten().any(|vc| !vc.fifo.is_empty())
-    }
-
-    /// Whether any output VC of `port` is allocatable (idle + credit).
-    pub fn out_channel_free(&self, port: usize, vc: usize) -> bool {
-        let o = &self.outputs[port][vc];
-        o.owner.is_none() && o.credits > 0
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::flit::{Flit, FlitKind, Header, MessageId};
-    use ftr_topo::NodeId;
-
-    #[test]
-    fn geometry() {
-        let r = RouterNode::new(4, 2, 4);
-        assert_eq!(r.inputs.len(), 5);
-        assert_eq!(r.injection_port(), 4);
-        assert_eq!(r.inputs[0].len(), 2);
-        assert_eq!(r.inputs[4].len(), 1);
-        assert_eq!(r.outputs.len(), 4);
-        assert_eq!(r.outputs[0][0].credits, 4);
-        assert!(r.out_channel_free(0, 0));
-    }
-
-    #[test]
-    fn buffered_flit_count() {
-        let mut r = RouterNode::new(2, 1, 4);
-        let h = Header::new(MessageId(1), NodeId(0), NodeId(1), 2);
-        r.inputs[0][0].fifo.push_back(Flit { kind: FlitKind::Head(h), msg: h.msg, seq: 0 });
-        r.out_reg[1] = Some((VcId(0), Flit { kind: FlitKind::Tail, msg: h.msg, seq: 1 }));
-        assert_eq!(r.buffered_flits(), 2);
-    }
-
-    #[test]
-    fn route_reset() {
-        let mut vc = InputVc::new();
-        vc.route = RouteState::Out(PortId(1), VcId(0));
-        vc.phase = Some(DecisionPhase::Waiting(2));
-        vc.counted = true;
-        vc.reset_route();
-        assert_eq!(vc.route, RouteState::Unrouted);
-        assert_eq!(vc.phase, None);
-        assert!(!vc.counted);
-    }
 }

@@ -89,6 +89,18 @@ pub fn default_threads() -> usize {
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
 }
 
+/// Worker-thread count for sweeps and the sharded engine: the `FTR_THREADS`
+/// environment variable when set to a positive integer, else
+/// [`default_threads`]. Lets CI and shared machines pin parallelism without
+/// touching every call site.
+pub fn worker_count() -> usize {
+    std::env::var("FTR_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(default_threads)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -142,6 +154,25 @@ mod tests {
         assert!(msg.contains("2 of 8 jobs panicked"), "got: {msg}");
         assert!(msg.contains("input index 1: seed 1 diverged"), "got: {msg}");
         assert!(msg.contains("input index 5: seed 5 diverged"), "got: {msg}");
+    }
+
+    #[test]
+    fn worker_count_respects_env_override() {
+        // set/remove FTR_THREADS around the calls; the test binary runs
+        // tests concurrently, so serialize on a local lock to keep other
+        // env-reading tests (none today) from racing
+        static LOCK: parking_lot::Mutex<()> = parking_lot::Mutex::new(());
+        let _g = LOCK.lock();
+        std::env::set_var("FTR_THREADS", "3");
+        assert_eq!(worker_count(), 3);
+        std::env::set_var("FTR_THREADS", " 5 ");
+        assert_eq!(worker_count(), 5, "whitespace-tolerant");
+        std::env::set_var("FTR_THREADS", "0");
+        assert_eq!(worker_count(), default_threads(), "zero falls back");
+        std::env::set_var("FTR_THREADS", "lots");
+        assert_eq!(worker_count(), default_threads(), "garbage falls back");
+        std::env::remove_var("FTR_THREADS");
+        assert_eq!(worker_count(), default_threads());
     }
 
     #[test]

@@ -1,98 +1,155 @@
-//! Lockstep differential test: active-set scheduling vs the dense
-//! reference scan.
+//! Lockstep differential test: every step backend against every other.
 //!
 //! `Network::step` normally iterates only nodes with work (the active
-//! set); `set_dense_reference(true)` retains the original every-node scan.
-//! The two paths must be indistinguishable to any observer: bit-identical
-//! `SimStats`, bit-identical trace-event streams, and the same per-cycle
-//! `moved` flag. This runs the E15 campaign shape — retrying NAFTA on a
-//! faulty 6x6 mesh — across a (retry x fault-count x seed) matrix, plus a
-//! ROUTE_C 4-cube arm, advancing both networks in lockstep.
+//! set); `set_dense_reference(true)` retains the original every-node scan;
+//! `NetworkBuilder::threads(n)` shards the scan across `n` regions with a
+//! conservative barrier (DESIGN.md §14). All backends must be
+//! indistinguishable to any observer: bit-identical `SimStats`,
+//! bit-identical trace-event streams, and the same per-cycle `moved`
+//! flag. This runs the E15 campaign shape — retrying NAFTA on a faulty
+//! 6x6 mesh — across a (retry x fault-count x seed) matrix, plus a
+//! ROUTE_C 4-cube arm, advancing dense, active, 2-thread-sharded
+//! (inline) and 8-thread-sharded (forced OS threads) networks in
+//! lockstep.
 
 use ftrouter::prelude::*;
 use std::sync::Arc;
 
-struct Pair {
-    act: Network,
-    dense: Network,
-    act_sink: Arc<RingSink>,
-    dense_sink: Arc<RingSink>,
-    act_tf: TrafficSource,
-    dense_tf: TrafficSource,
+/// One backend under test: a network plus its own trace sink and an
+/// identically seeded traffic source.
+struct Arm {
+    name: &'static str,
+    net: Network,
+    sink: Arc<RingSink>,
+    tf: TrafficSource,
+}
+
+/// How an [`Arm`] computes its cycles.
+#[derive(Clone, Copy)]
+enum Backend {
+    Dense,
+    Active,
+    /// `threads` shards; `force_spawn` pins the spawn threshold to zero
+    /// so real OS threads run even on a 36-node mesh.
+    Sharded {
+        threads: usize,
+        force_spawn: bool,
+    },
+}
+
+/// The standard backend matrix every differential test runs: both
+/// sequential scans, an inline-sharded and a really-threaded engine.
+const BACKENDS: [(&str, Backend); 4] = [
+    ("dense", Backend::Dense),
+    ("active", Backend::Active),
+    ("sharded-2 (inline)", Backend::Sharded { threads: 2, force_spawn: false }),
+    ("sharded-8 (spawned)", Backend::Sharded { threads: 8, force_spawn: true }),
+];
+
+struct Squad {
+    arms: Vec<Arm>,
     topo: Arc<dyn Topology>,
 }
 
-impl Pair {
+impl Squad {
+    /// Builds one arm per backend. `mk` receives a pre-tuned builder and
+    /// finishes it (fault plan, retry, trace sink, algorithm), returning
+    /// the network and its ring sink; `tf` seeds one traffic source per
+    /// arm.
+    fn build(
+        topo: Arc<dyn Topology>,
+        mk: impl Fn(NetworkBuilder) -> (Network, Arc<RingSink>),
+        tf: impl Fn() -> TrafficSource,
+    ) -> Self {
+        let arms = BACKENDS
+            .iter()
+            .map(|&(name, backend)| {
+                let mut b = Network::builder(topo.clone());
+                if let Backend::Sharded { threads, force_spawn } = backend {
+                    b = b.threads(threads);
+                    b = b.spawn_threshold(if force_spawn { 0 } else { usize::MAX });
+                }
+                let (mut net, sink) = mk(b);
+                net.set_dense_reference(matches!(backend, Backend::Dense));
+                net.set_measuring(true);
+                Arm { name, net, sink, tf: tf() }
+            })
+            .collect();
+        Squad { arms, topo }
+    }
+
     fn lockstep(&mut self, cycles: u64, label: &str) {
         for _ in 0..cycles {
-            for (s, d, l) in self.act_tf.tick(self.topo.as_ref(), self.act.faults()) {
-                let _ = self.act.send(s, d, l);
+            for arm in &mut self.arms {
+                for (s, d, l) in arm.tf.tick(self.topo.as_ref(), arm.net.faults()) {
+                    let _ = arm.net.send(s, d, l);
+                }
+                arm.net.step();
             }
-            for (s, d, l) in self.dense_tf.tick(self.topo.as_ref(), self.dense.faults()) {
-                let _ = self.dense.send(s, d, l);
-            }
-            self.act.step();
-            self.dense.step();
+            self.assert_moved_agrees(label);
+        }
+    }
+
+    fn assert_moved_agrees(&self, label: &str) {
+        let reference = &self.arms[0];
+        for arm in &self.arms[1..] {
             assert_eq!(
-                self.act.last_step_moved(),
-                self.dense.last_step_moved(),
-                "{label}: moved flag diverged at cycle {}",
-                self.dense.cycle()
+                arm.net.last_step_moved(),
+                reference.net.last_step_moved(),
+                "{label}: moved flag diverged ({} vs {}) at cycle {}",
+                arm.name,
+                reference.name,
+                reference.net.cycle()
             );
         }
     }
 
     fn finish(mut self, label: &str) {
-        // drain both (bounded: unroutable+no-retry arms can strand nothing,
-        // but a diverging pair must not hang the suite)
+        // drain all arms (bounded: a diverging arm must not hang the suite)
         let mut budget = 30_000u64;
-        while (self.act.in_flight() > 0 || self.dense.in_flight() > 0) && budget > 0 {
-            self.act.step();
-            self.dense.step();
-            assert_eq!(
-                self.act.last_step_moved(),
-                self.dense.last_step_moved(),
-                "{label}: moved flag diverged at cycle {}",
-                self.dense.cycle()
-            );
+        while self.arms.iter().any(|a| a.net.in_flight() > 0) && budget > 0 {
+            for arm in &mut self.arms {
+                arm.net.step();
+            }
+            self.assert_moved_agrees(label);
             budget -= 1;
         }
-        assert_eq!(self.act.stats, self.dense.stats, "{label}: SimStats diverged");
-        assert_eq!(
-            self.act_sink.events(),
-            self.dense_sink.events(),
-            "{label}: trace streams diverged"
-        );
-        assert!(self.act.stats.accounting_balanced(), "{label}: unbalanced accounting");
-        assert!(self.act.stats.injected_msgs > 0, "{label}: no traffic flowed");
+        let (reference, rest) = self.arms.split_first().expect("non-empty squad");
+        for arm in rest {
+            assert_eq!(
+                arm.net.stats, reference.net.stats,
+                "{label}: SimStats diverged ({} vs {})",
+                arm.name, reference.name
+            );
+            assert_eq!(
+                arm.sink.events(),
+                reference.sink.events(),
+                "{label}: trace streams diverged ({} vs {})",
+                arm.name,
+                reference.name
+            );
+        }
+        assert!(reference.net.stats.accounting_balanced(), "{label}: unbalanced accounting");
+        assert!(reference.net.stats.injected_msgs > 0, "{label}: no traffic flowed");
     }
 }
 
-fn nafta_pair(retry: bool, faults: usize, seed: u64, load: f64) -> Pair {
+fn nafta_squad(retry: bool, faults: usize, seed: u64, load: f64) -> Squad {
     let mesh = Mesh2D::new(6, 6);
-    let mk = |dense: bool| {
-        let plan = FaultPlan::random_transient_links(&mesh, faults, 100..700, 150, seed);
-        let sink = Arc::new(RingSink::new(1 << 17));
-        let mut b = Network::builder(Arc::new(mesh.clone())).fault_plan(plan).trace(sink.clone());
-        if retry {
-            b = b.retry(RetryPolicy { max_attempts: 6, backoff_cycles: 48 });
-        }
-        let mut net = b.build(&Nafta::new(mesh.clone())).expect("valid config");
-        net.set_dense_reference(dense);
-        net.set_measuring(true);
-        (net, sink)
-    };
-    let (act, act_sink) = mk(false);
-    let (dense, dense_sink) = mk(true);
-    Pair {
-        act,
-        dense,
-        act_sink,
-        dense_sink,
-        act_tf: TrafficSource::new(Pattern::Uniform, load, 8, seed ^ 0xbeef),
-        dense_tf: TrafficSource::new(Pattern::Uniform, load, 8, seed ^ 0xbeef),
-        topo: Arc::new(mesh),
-    }
+    let algo = Nafta::new(mesh.clone());
+    Squad::build(
+        Arc::new(mesh.clone()),
+        move |mut b| {
+            let plan = FaultPlan::random_transient_links(&mesh, faults, 100..700, 150, seed);
+            let sink = Arc::new(RingSink::new(1 << 17));
+            b = b.fault_plan(plan).trace(sink.clone());
+            if retry {
+                b = b.retry(RetryPolicy { max_attempts: 6, backoff_cycles: 48 });
+            }
+            (b.build(&algo).expect("valid config"), sink)
+        },
+        move || TrafficSource::new(Pattern::Uniform, load, 8, seed ^ 0xbeef),
+    )
 }
 
 #[test]
@@ -101,9 +158,9 @@ fn nafta_campaign_matrix_is_lockstep_identical() {
         for faults in [0usize, 8, 16] {
             for seed in [11u64, 29] {
                 let label = format!("nafta retry={retry} faults={faults} seed={seed}");
-                let mut pair = nafta_pair(retry, faults, seed, 0.08);
-                pair.lockstep(900, &label);
-                pair.finish(&label);
+                let mut squad = nafta_squad(retry, faults, seed, 0.08);
+                squad.lockstep(900, &label);
+                squad.finish(&label);
             }
         }
     }
@@ -112,32 +169,25 @@ fn nafta_campaign_matrix_is_lockstep_identical() {
 #[test]
 fn route_c_hypercube_is_lockstep_identical() {
     let cube = Hypercube::new(4);
-    let mk = |dense: bool| {
-        let plan = FaultPlan::random_transient_links(&cube, 4, 80..500, 120, 7);
-        let sink = Arc::new(RingSink::new(1 << 17));
-        let mut net = Network::builder(Arc::new(cube.clone()))
-            .fault_plan(plan)
-            .retry(RetryPolicy { max_attempts: 4, backoff_cycles: 32 })
-            .trace(sink.clone())
-            .build(&RouteC::new(cube.clone()))
-            .expect("valid config");
-        net.set_dense_reference(dense);
-        net.set_measuring(true);
-        (net, sink)
-    };
-    let (act, act_sink) = mk(false);
-    let (dense, dense_sink) = mk(true);
-    let mut pair = Pair {
-        act,
-        dense,
-        act_sink,
-        dense_sink,
-        act_tf: TrafficSource::new(Pattern::Uniform, 0.1, 6, 1234),
-        dense_tf: TrafficSource::new(Pattern::Uniform, 0.1, 6, 1234),
-        topo: Arc::new(cube),
-    };
-    pair.lockstep(700, "route_c 4-cube");
-    pair.finish("route_c 4-cube");
+    let algo = RouteC::new(cube.clone());
+    let mk_cube = cube.clone();
+    let mut squad = Squad::build(
+        Arc::new(cube),
+        move |b| {
+            let plan = FaultPlan::random_transient_links(&mk_cube, 4, 80..500, 120, 7);
+            let sink = Arc::new(RingSink::new(1 << 17));
+            let net = b
+                .fault_plan(plan)
+                .retry(RetryPolicy { max_attempts: 4, backoff_cycles: 32 })
+                .trace(sink.clone())
+                .build(&algo)
+                .expect("valid config");
+            (net, sink)
+        },
+        || TrafficSource::new(Pattern::Uniform, 0.1, 6, 1234),
+    );
+    squad.lockstep(700, "route_c 4-cube");
+    squad.finish("route_c 4-cube");
 }
 
 #[test]
