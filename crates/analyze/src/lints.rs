@@ -127,8 +127,8 @@ fn absint_lints(
         let rb = &prog.rulebases[cb.rb];
         let mut wins = vec![0u64; rb.rules.len()];
         for &e in &cb.table {
-            if e != 0 {
-                wins[e as usize - 1] += 1;
+            if let Some(r) = cb.decode_entry(e).ok().flatten() {
+                wins[r] += 1;
             }
         }
         for (ri, rule) in rb.rules.iter().enumerate() {
@@ -262,8 +262,8 @@ fn table_lints(name: &str, compiled: &CompiledProgram, diags: &mut Vec<Diagnosti
         // how often each rule actually wins a table entry
         let mut wins = vec![0u64; rb.rules.len()];
         for &e in &cb.table {
-            if e != 0 {
-                wins[e as usize - 1] += 1;
+            if let Some(r) = cb.decode_entry(e).ok().flatten() {
+                wins[r] += 1;
             }
         }
         for (ri, rule) in rb.rules.iter().enumerate() {

@@ -316,8 +316,8 @@ fn justify(
             }
             let mut wins = vec![0u64; cb.rule_applicable.len()];
             for &e in &cb.table {
-                if e != 0 {
-                    wins[e as usize - 1] += 1;
+                if let Some(r) = cb.decode_entry(e).map_err(|e| e.to_string())? {
+                    wins[r] += 1;
                 }
             }
             if wins[*rule] == 0 {
@@ -631,9 +631,11 @@ fn collect_folds(prog: &Program, env: &AbsEnv, e: &Expr, out: &mut Vec<(Expr, bo
 fn find_dead(prog: &Program, compiled: &CompiledProgram, facts: &Facts) -> Option<Rewrite> {
     for (bi, cb) in compiled.bases.iter().enumerate() {
         let mut wins = vec![0u64; cb.rule_applicable.len()];
+        // the table was just compiled, so entries decode cleanly; a corrupt
+        // entry simply proposes no deletion (verify re-checks everything)
         for &e in &cb.table {
-            if e != 0 {
-                wins[e as usize - 1] += 1;
+            if let Some(r) = cb.decode_entry(e).ok().flatten() {
+                wins[r] += 1;
             }
         }
         for (ri, &w) in wins.iter().enumerate() {

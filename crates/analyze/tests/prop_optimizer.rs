@@ -1,18 +1,25 @@
-//! Property-based differential test of the certified optimizer: for
-//! random well-typed two-base programs (entry base optionally tail-
-//! emitting into an exception base, so the fusion pass gets exercised),
-//! the optimized program must agree with the reference evaluator on
-//! every step of long random trajectories started from INIT — same
-//! returns, same host events, same register effects — and the emitted
-//! certificate must replay through the independent checker.
+//! Property-based differential tests over random well-typed two-base
+//! programs (entry base optionally tail-emitting into an exception base,
+//! so the fusion pass gets exercised):
+//!
+//! 1. **Optimizer contract** — the optimized program must agree with the
+//!    reference evaluator on every step of long random trajectories
+//!    started from INIT — same returns, same host events, same register
+//!    effects — and the emitted certificate must replay through the
+//!    independent checker.
+//! 2. **Backend contract** — the three rule-execution arms (reference
+//!    evaluator, compiled table interpreter, direct-threaded bytecode VM)
+//!    must be trajectory-identical on the same program family, with the
+//!    bytecode arm additionally checked over E18-optimized tables.
 
 use ftr_analyze::opt;
 use ftr_analyze::{optimize_rulebase, OptOptions};
 use ftr_rules::env::{InputMap, RegFile};
-use ftr_rules::eval::{fire_reference, EventInstance};
+use ftr_rules::eval::{fire_reference, EventInstance, FireOutcome};
 use ftr_rules::parse;
 use ftr_rules::value::Value;
-use ftr_rules::Program;
+use ftr_rules::vm::Scratch;
+use ftr_rules::{compile, CompileOptions, Program, VmProgram};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -143,6 +150,38 @@ fn cascade(
     (ret, host)
 }
 
+/// [`cascade`] generalized over the firing backend: `fire(base, params,
+/// regs)` supplies one rule-base interpretation, and emitted events are
+/// followed into other rule bases exactly as the machine would. Errors
+/// propagate so err-ness can be compared across arms.
+fn cascade_with<F>(
+    prog: &Program,
+    bi: usize,
+    params: &[Value],
+    regs: &mut RegFile,
+    fire: &mut F,
+) -> ftr_rules::Result<(Option<Value>, Vec<EventInstance>)>
+where
+    F: FnMut(usize, &[Value], &mut RegFile) -> ftr_rules::Result<FireOutcome>,
+{
+    let out = fire(bi, params, regs)?;
+    let mut ret = out.returned;
+    let mut host = Vec::new();
+    for ev in out.emitted {
+        match prog.rulebase(&ev.event) {
+            Some((ti, trb)) if trb.params.len() == ev.args.len() => {
+                let (r, h) = cascade_with(prog, ti, &ev.args, regs, fire)?;
+                if r.is_some() {
+                    ret = r;
+                }
+                host.extend(h);
+            }
+            _ => host.push(ev),
+        }
+    }
+    Ok((ret, host))
+}
+
 fn random_inputs(rng: &mut StdRng, prog: &Program) -> InputMap {
     let mut im = InputMap::default();
     for i in 0..4 {
@@ -217,6 +256,92 @@ proptest! {
                     "step {} base {} left different register state\n{}",
                     step, bi, src
                 );
+            }
+        }
+    }
+
+    /// The backend contract, quantified over the same program family:
+    /// reference evaluator, table interpreter, and bytecode VM (over
+    /// both the plain and the E18-optimized tables) make identical
+    /// decisions — same returns, host events, and register effects — on
+    /// every step of random trajectories from INIT. When one arm errors,
+    /// every arm must error.
+    #[test]
+    fn table_and_bytecode_backends_match_the_reference_evaluator(
+        route_p in proptest::collection::vec(arb_premise(true), 1..5),
+        route_c in proptest::collection::vec(arb_conclusion(true), 5),
+        tail in arb_tail(),
+        exc_p in proptest::collection::vec(arb_premise(false), 1..4),
+        exc_c in proptest::collection::vec(arb_conclusion(false), 4),
+        seed in any::<u64>(),
+    ) {
+        let route: Vec<(String, String)> =
+            route_p.iter().cloned().zip(route_c.iter().cloned()).collect();
+        let exc: Vec<(String, String)> =
+            exc_p.iter().cloned().zip(exc_c.iter().cloned()).collect();
+        let src = gen_program(&route, tail.as_ref(), &exc);
+        let prog = parse(&src).unwrap_or_else(|e| panic!("{e}\n{src}"));
+
+        let compiled = compile(&prog, &CompileOptions::default())
+            .unwrap_or_else(|e| panic!("compile failed: {e}\n{src}"));
+        let vm = VmProgram::lower(&compiled)
+            .unwrap_or_else(|e| panic!("lowering failed: {e}\n{src}"));
+        let o = optimize_rulebase("prop", &prog, &OptOptions::default())
+            .unwrap_or_else(|e| panic!("optimize failed: {e}\n{src}"));
+        let vm_opt = VmProgram::lower(&o.compiled)
+            .unwrap_or_else(|e| panic!("lowering optimized failed: {e}\n{src}"));
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut regs_r = RegFile::new(&prog);
+        let mut regs_t = RegFile::new(&compiled.prog);
+        let mut regs_v = RegFile::new(&compiled.prog);
+        let mut regs_o = RegFile::new(&o.compiled.prog);
+        let mut sc_v = Scratch::new();
+        let mut sc_o = Scratch::new();
+
+        let ss = prog.sym_sizes();
+        'trajectory: for step in 0..40 {
+            let im = random_inputs(&mut rng, &prog);
+            for bi in 0..prog.rulebases.len() {
+                let params: Vec<Value> = prog.rulebases[bi]
+                    .params
+                    .iter()
+                    .map(|p| p.dom.value_at(rng.gen_range(0..p.dom.size(&ss))))
+                    .collect();
+                let rr = cascade_with(&prog, bi, &params, &mut regs_r, &mut |b, p, rg| {
+                    fire_reference(&prog, b, p, rg, &im)
+                });
+                let rt = cascade_with(&compiled.prog, bi, &params, &mut regs_t, &mut |b, p, rg| {
+                    compiled.bases[b].fire(&compiled.prog, p, rg, &im)
+                });
+                let rv = cascade_with(&compiled.prog, bi, &params, &mut regs_v, &mut |b, p, rg| {
+                    vm.bases[b].fire(&compiled.prog, p, rg, &im, &mut sc_v)
+                });
+                let ro = cascade_with(&o.compiled.prog, bi, &params, &mut regs_o, &mut |b, p, rg| {
+                    vm_opt.bases[b].fire(&o.compiled.prog, p, rg, &im, &mut sc_o)
+                });
+                match rr {
+                    Err(e) => {
+                        // err-ness must agree everywhere (messages may
+                        // differ in evaluation-order detail); the state
+                        // after an error is unspecified, so stop here
+                        prop_assert!(rt.is_err(), "step {} base {}: reference erred ({}) but table succeeded\n{}", step, bi, e, src);
+                        prop_assert!(rv.is_err(), "step {} base {}: reference erred ({}) but bytecode succeeded\n{}", step, bi, e, src);
+                        prop_assert!(ro.is_err(), "step {} base {}: reference erred ({}) but optimized bytecode succeeded\n{}", step, bi, e, src);
+                        break 'trajectory;
+                    }
+                    Ok(ref want) => {
+                        let got_t = rt.unwrap_or_else(|e| panic!("table erred where reference succeeded: {e}\n{src}"));
+                        let got_v = rv.unwrap_or_else(|e| panic!("bytecode erred where reference succeeded: {e}\n{src}"));
+                        let got_o = ro.unwrap_or_else(|e| panic!("optimized bytecode erred where reference succeeded: {e}\n{src}"));
+                        prop_assert_eq!(want, &got_t, "step {} base {}: table diverged (params {:?})\n{}", step, bi, &params, &src);
+                        prop_assert_eq!(want, &got_v, "step {} base {}: bytecode diverged (params {:?})\n{}", step, bi, &params, &src);
+                        prop_assert_eq!(want, &got_o, "step {} base {}: optimized bytecode diverged (params {:?})\n{}", step, bi, &params, &src);
+                        prop_assert_eq!(&regs_r, &regs_t, "step {} base {}: table register state diverged\n{}", step, bi, &src);
+                        prop_assert_eq!(&regs_r, &regs_v, "step {} base {}: bytecode register state diverged\n{}", step, bi, &src);
+                        prop_assert_eq!(&regs_r, &regs_o, "step {} base {}: optimized bytecode register state diverged\n{}", step, bi, &src);
+                    }
+                }
             }
         }
     }

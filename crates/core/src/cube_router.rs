@@ -62,6 +62,7 @@ impl RoutingAlgorithm for CubeRuleRouter {
         if let Some(w) = &self.config.step_weights {
             machine.set_step_weights(std::sync::Arc::clone(w));
         }
+        self.config.install_backend(&mut machine);
         Box::new(CubeRuleController {
             machine,
             cube: self.cube.clone(),

@@ -28,7 +28,10 @@ pub use registry::{configuration, list_configurations};
 pub use report::HardwareReport;
 pub use rule_router::{MeshInterface, RuleRouter};
 
-use ftr_rules::{compile, cost, CompileOptions, CompiledProgram, ProgramCost, Result, StepWeights};
+use ftr_rules::{
+    compile, cost, Backend, CompileOptions, CompiledProgram, Machine, ProgramCost, Result,
+    StepWeights, VmProgram,
+};
 use std::sync::Arc;
 
 /// A compiled router configuration: the output of the paper's "rule
@@ -49,6 +52,14 @@ pub struct RouterConfiguration {
     /// True when `compiled` came out of the certified optimizer rather
     /// than straight from source.
     pub optimized: bool,
+    /// Which rule-execution backend node machines run on. Defaults to the
+    /// `FTR_BACKEND` environment variable (`table` unless it says
+    /// `bytecode`); override with [`RouterConfiguration::with_backend`].
+    pub backend: Backend,
+    /// The lowered bytecode, shared by every node machine when `backend`
+    /// is [`Backend::Bytecode`] (lowered once per configuration, not per
+    /// node).
+    pub bytecode: Option<Arc<VmProgram>>,
 }
 
 impl RouterConfiguration {
@@ -58,13 +69,16 @@ impl RouterConfiguration {
     /// standard [`CompiledProgram`].
     pub fn from_compiled(name: &str, compiled: CompiledProgram) -> Result<Self> {
         let cost = cost::analyze(&compiled.prog, &CompileOptions::default())?;
-        Ok(RouterConfiguration {
+        RouterConfiguration {
             name: name.to_string(),
             compiled,
             cost,
             step_weights: None,
             optimized: false,
-        })
+            backend: Backend::Table,
+            bytecode: None,
+        }
+        .with_backend(Backend::from_env())
     }
 
     /// Installs modeled per-rule step weights and tags the configuration
@@ -75,6 +89,28 @@ impl RouterConfiguration {
         self.optimized = true;
         self
     }
+
+    /// Selects the rule-execution backend. [`Backend::Bytecode`] lowers
+    /// the compiled program once here; every node machine then shares the
+    /// lowered [`VmProgram`]. Lowering validates the code, so a
+    /// configuration carrying bytecode is known-loadable.
+    pub fn with_backend(mut self, backend: Backend) -> Result<Self> {
+        self.backend = backend;
+        self.bytecode = match backend {
+            Backend::Table => None,
+            Backend::Bytecode => Some(Arc::new(VmProgram::lower(&self.compiled)?)),
+        };
+        Ok(self)
+    }
+
+    /// Applies this configuration's backend choice to a node machine.
+    pub fn install_backend(&self, machine: &mut Machine) {
+        if let Some(vm) = &self.bytecode {
+            machine
+                .set_bytecode(Arc::clone(vm))
+                .expect("bytecode was validated when the configuration was built");
+        }
+    }
 }
 
 /// Compiles rule-language source into a router configuration.
@@ -83,13 +119,16 @@ pub fn configure(name: &str, src: &str) -> Result<RouterConfiguration> {
     let prog = ftr_rules::parse(src)?;
     let compiled = compile(&prog, &opts)?;
     let cost = cost::analyze(&prog, &opts)?;
-    Ok(RouterConfiguration {
+    RouterConfiguration {
         name: name.to_string(),
         compiled,
         cost,
         step_weights: None,
         optimized: false,
-    })
+        backend: Backend::Table,
+        bytecode: None,
+    }
+    .with_backend(Backend::from_env())
 }
 
 #[cfg(test)]

@@ -141,6 +141,7 @@ impl RoutingAlgorithm for RuleRouter {
         if let Some(w) = &self.config.step_weights {
             machine.set_step_weights(Arc::clone(w));
         }
+        self.config.install_backend(&mut machine);
         self.interface.init_node(&mut machine, node);
         Box::new(RuleNodeController {
             machine,

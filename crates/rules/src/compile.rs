@@ -28,6 +28,7 @@ use crate::error::{Result, RuleError};
 use crate::interp::{CompiledProgram, CompiledRuleBase};
 use crate::value::{ceil_log2, Domain, Value};
 use std::collections::HashMap;
+use std::num::NonZeroU16;
 
 /// Compilation parameters.
 #[derive(Clone, Copy, Debug)]
@@ -542,7 +543,7 @@ pub fn compile_rulebase(
     // fill the table by mixed-radix enumeration of the feature space;
     // while doing so, record which resolutions §4.3 performs silently
     let radices: Vec<u64> = fs.features.iter().map(|f| f.size).collect();
-    let mut table = vec![0u16; entries as usize];
+    let mut table: Vec<Option<NonZeroU16>> = vec![None; entries as usize];
     let mut assignment = vec![0u64; radices.len()];
     let mut rule_applicable = vec![0u64; rb.rules.len()];
     let mut conflicts: HashMap<(usize, usize), u64> = HashMap::new();
@@ -564,7 +565,7 @@ pub fn compile_rulebase(
             }
         }
         match winner {
-            Some(w) => *entry = (w + 1) as u16,
+            Some(w) => *entry = NonZeroU16::new((w + 1) as u16),
             None => gaps += 1,
         }
         // increment mixed-radix counter (first feature = least significant)
@@ -633,6 +634,11 @@ mod tests {
     use super::*;
     use crate::parser::parse;
 
+    /// Raw table entry for rule `r` (1-based encoding); `nz(0)` is a gap.
+    fn nz(e: u16) -> Option<NonZeroU16> {
+        NonZeroU16::new(e)
+    }
+
     #[test]
     fn direct_features_for_symbols() {
         let p = parse(
@@ -649,7 +655,7 @@ mod tests {
         assert_eq!(c.features.len(), 1);
         assert!(matches!(c.features[0].kind, FeatureKind::Direct { .. }));
         assert_eq!(c.entries, 2);
-        assert_eq!(c.table, vec![1, 2]); // safe→rule0, faulty→rule1
+        assert_eq!(c.table, vec![nz(1), nz(2)]); // safe→rule0, faulty→rule1
     }
 
     #[test]
@@ -684,9 +690,9 @@ mod tests {
         for (i, &e) in c.table.iter().enumerate() {
             let bits = (i & 1 != 0, i & 2 != 0); // (n>0, n>1)
             match bits {
-                (true, _) => assert_eq!(e, 1),
-                (false, true) => assert_eq!(e, 2), // unsatisfiable combo, filled anyway
-                (false, false) => assert_eq!(e, 0),
+                (true, _) => assert_eq!(e, nz(1)),
+                (false, true) => assert_eq!(e, nz(2)), // unsatisfiable combo, filled anyway
+                (false, false) => assert_eq!(e, None),
             }
         }
     }
@@ -706,9 +712,9 @@ mod tests {
         // three direct boolean features (free(0..2)) → 8 entries
         assert_eq!(c.features.len(), 3);
         assert_eq!(c.entries, 8);
-        assert_eq!(c.table[0], 2); // no free link → rule 1
+        assert_eq!(c.table[0], nz(2)); // no free link → rule 1
         for e in &c.table[1..] {
-            assert_eq!(*e, 1);
+            assert_eq!(*e, nz(1));
         }
     }
 
@@ -757,7 +763,7 @@ mod tests {
         // i = j over literal pairs is constant-folded into the premises, so
         // no features at all → single always-true entry
         assert_eq!(c.entries, 1);
-        assert_eq!(c.table, vec![1]);
+        assert_eq!(c.table, vec![nz(1)]);
     }
 
     #[test]
@@ -783,7 +789,7 @@ mod tests {
         // both rules are applicable somewhere, and both actually win somewhere
         assert!(c.rule_applicable.iter().all(|&n| n > 0));
         for r in [1u16, 2] {
-            assert!(c.table.contains(&r));
+            assert!(c.table.contains(&nz(r)));
         }
     }
 

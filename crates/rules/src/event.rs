@@ -21,6 +21,7 @@ use crate::eval::{EventInstance, FireOutcome};
 use crate::interp::CompiledProgram;
 use crate::probe::InterpProbe;
 use crate::value::Value;
+use crate::vm::{Backend, Scratch, VmProgram};
 use std::collections::VecDeque;
 use std::sync::Arc;
 
@@ -101,6 +102,9 @@ pub struct Machine {
     queue: VecDeque<EventInstance>,
     probe: Option<Arc<dyn InterpProbe>>,
     step_weights: Option<Arc<StepWeights>>,
+    /// When set, rule bases execute on the bytecode VM instead of the
+    /// table interpreter; the scratch frame is reused across fires.
+    vm: Option<(Arc<VmProgram>, Scratch)>,
     /// Safety budget per external fire: livelock guard for cyclic event
     /// generation.
     pub max_internal_events: u32,
@@ -121,6 +125,7 @@ impl Machine {
             queue: VecDeque::new(),
             probe: None,
             step_weights: None,
+            vm: None,
             max_internal_events: 10_000,
             stats: MachineStats { per_base: vec![0; n], ..Default::default() },
         })
@@ -136,8 +141,42 @@ impl Machine {
             queue: VecDeque::new(),
             probe: None,
             step_weights: None,
+            vm: None,
             max_internal_events: 10_000,
             stats: MachineStats { per_base: vec![0; n], ..Default::default() },
+        }
+    }
+
+    /// Selects the rule-execution backend. `Backend::Bytecode` lowers the
+    /// compiled program on the spot; use [`Machine::set_bytecode`] to share
+    /// one lowered program across machines.
+    pub fn set_backend(&mut self, backend: Backend) -> Result<()> {
+        match backend {
+            Backend::Table => {
+                self.vm = None;
+                Ok(())
+            }
+            Backend::Bytecode => {
+                let vm = VmProgram::lower(&self.compiled)?;
+                self.set_bytecode(Arc::new(vm))
+            }
+        }
+    }
+
+    /// Installs a pre-lowered bytecode program (validated against this
+    /// machine's compiled program before it is accepted).
+    pub fn set_bytecode(&mut self, vm: Arc<VmProgram>) -> Result<()> {
+        vm.validate(&self.compiled)?;
+        self.vm = Some((vm, Scratch::new()));
+        Ok(())
+    }
+
+    /// The backend this machine currently executes on.
+    pub fn backend(&self) -> Backend {
+        if self.vm.is_some() {
+            Backend::Bytecode
+        } else {
+            Backend::Table
         }
     }
 
@@ -244,12 +283,20 @@ impl Machine {
             return Ok(None);
         };
         self.stats.per_base[idx] += 1;
-        let base = &self.compiled.bases[idx];
-        let out = match &self.probe {
-            Some(p) => {
-                base.fire_probed(&self.compiled.prog, args, &mut self.regs, inputs, p.as_ref())?
+        let prog = &self.compiled.prog;
+        let out = match (&mut self.vm, &self.probe) {
+            (Some((vm, sc)), Some(p)) => {
+                vm.bases[idx].fire_probed(prog, args, &mut self.regs, inputs, sc, p.as_ref())?
             }
-            None => base.fire(&self.compiled.prog, args, &mut self.regs, inputs)?,
+            (Some((vm, sc)), None) => vm.bases[idx].fire(prog, args, &mut self.regs, inputs, sc)?,
+            (None, Some(p)) => self.compiled.bases[idx].fire_probed(
+                prog,
+                args,
+                &mut self.regs,
+                inputs,
+                p.as_ref(),
+            )?,
+            (None, None) => self.compiled.bases[idx].fire(prog, args, &mut self.regs, inputs)?,
         };
         // modeled steps: a fused rule counts as every interpretation it
         // replaced, so step-derived quantities match the original program

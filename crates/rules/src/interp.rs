@@ -22,6 +22,7 @@ use crate::error::{Result, RuleError};
 use crate::eval::{apply_rule, eval_expr, EvalCtx, FireOutcome};
 use crate::probe::{InterpProbe, Stage};
 use crate::value::Value;
+use std::num::NonZeroU16;
 use std::time::Instant;
 
 /// One rule base compiled to a filled table.
@@ -33,8 +34,13 @@ pub struct CompiledRuleBase {
     pub features: Vec<Feature>,
     /// Radix of each digit.
     pub radices: Vec<u64>,
-    /// The filled table: entry = 1 + rule index, 0 = no applicable rule.
-    pub table: Vec<u16>,
+    /// The filled table: `Some(e)` encodes rule `e - 1`, `None` is a gap
+    /// (no applicable rule). The sentinel lives in the type — a raw `0`
+    /// can no longer be confused with a rule index, and
+    /// [`CompiledRuleBase::decode_entry`] rejects out-of-range entries so
+    /// a corrupt or stale table surfaces as an error instead of silently
+    /// firing an arbitrary rule.
+    pub table: Vec<Option<NonZeroU16>>,
     /// Number of table entries (product of radices).
     pub entries: u64,
     /// Modelled entry width in bits (conclusion selector + return field).
@@ -152,6 +158,40 @@ impl CompiledRuleBase {
         idx
     }
 
+    /// Decodes a raw table entry into a rule index. Entries indexing past
+    /// the rule list are an error: the table is supposed to be filled by
+    /// [`crate::compile::compile_rulebase`], so anything out of range is
+    /// corruption (stale table, bad deserialisation, buggy rewrite).
+    pub fn decode_entry(&self, e: Option<NonZeroU16>) -> Result<Option<usize>> {
+        match e {
+            None => Ok(None),
+            Some(nz) => {
+                let rule = nz.get() as usize - 1;
+                if rule < self.premises.len() {
+                    Ok(Some(rule))
+                } else {
+                    Err(RuleError::eval(format!(
+                        "corrupt rule table: entry {} indexes rule {rule}, but base has only {} rules",
+                        nz.get(),
+                        self.premises.len()
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Checked kernel lookup: table entry at mixed-radix index `idx`,
+    /// decoded to a rule index (`None` = gap).
+    pub fn entry(&self, idx: u64) -> Result<Option<usize>> {
+        let e = *self.table.get(idx as usize).ok_or_else(|| {
+            RuleError::eval(format!(
+                "corrupt rule table: index {idx} outside {} entries",
+                self.table.len()
+            ))
+        })?;
+        self.decode_entry(e)
+    }
+
     /// Steps 1+2: which rule applies (None = gap entry / no rule).
     pub fn select(
         &self,
@@ -161,8 +201,7 @@ impl CompiledRuleBase {
         inputs: &dyn InputProvider,
     ) -> Result<Option<usize>> {
         let digits = self.feature_vector(prog, params, regs, inputs)?;
-        let e = self.table[self.index(&digits) as usize];
-        Ok((e != 0).then(|| e as usize - 1))
+        self.entry(self.index(&digits))
     }
 
     /// Full interpretation: premise processing, kernel lookup, conclusion
@@ -196,12 +235,12 @@ impl CompiledRuleBase {
         let digits = self.feature_vector(prog, params, regs, inputs)?;
         let t1 = Instant::now();
         probe.record_stage(self.rb, Stage::Premise, (t1 - t0).as_nanos() as u64);
-        let entry = self.table[self.index(&digits) as usize];
+        let rule = self.entry(self.index(&digits))?;
         let t2 = Instant::now();
         probe.record_stage(self.rb, Stage::Kernel, (t2 - t1).as_nanos() as u64);
-        let out = match entry {
-            0 => Ok(FireOutcome::default()),
-            e => apply_rule(prog, self.rb, e as usize - 1, params, regs, inputs),
+        let out = match rule {
+            None => Ok(FireOutcome::default()),
+            Some(r) => apply_rule(prog, self.rb, r, params, regs, inputs),
         };
         probe.record_stage(self.rb, Stage::Conclusion, t2.elapsed().as_nanos() as u64);
         out
@@ -348,6 +387,42 @@ END classify;
         assert_eq!(regs_a, regs_b);
         let seen = rec.0.lock().unwrap().clone();
         assert_eq!(seen, vec![(0, Stage::Premise), (0, Stage::Kernel), (0, Stage::Conclusion)]);
+    }
+
+    #[test]
+    fn corrupt_table_entries_error_instead_of_firing_arbitrary_rules() {
+        let p = parse(SRC).unwrap();
+        let mut inp = InputMap::new();
+        inp.set_default(&p, "level", int(0)).unwrap();
+
+        // garbage entry: points past the rule list
+        let mut c = compile(&p, &CompileOptions::default()).unwrap();
+        for e in c.bases[0].table.iter_mut() {
+            *e = NonZeroU16::new(200);
+        }
+        let mut regs = RegFile::new(&p);
+        let err = c.fire("classify", &[int(0)], &mut regs, &inp).unwrap_err();
+        assert!(err.to_string().contains("corrupt rule table"), "{err}");
+
+        // truncated table: the kernel lookup itself must fail, not panic
+        let mut c = compile(&p, &CompileOptions::default()).unwrap();
+        c.bases[0].table.truncate(1);
+        let mut regs = RegFile::new(&p);
+        regs.write(&p, 0, &[], Value::Sym { ty: 0, idx: 2 }).unwrap();
+        let err = c.fire("classify", &[int(0)], &mut regs, &inp).unwrap_err();
+        assert!(err.to_string().contains("corrupt rule table"), "{err}");
+
+        // the probed path takes the same checked decode
+        struct Null;
+        impl crate::probe::InterpProbe for Null {
+            fn record_stage(&self, _: usize, _: crate::probe::Stage, _: u64) {}
+        }
+        let mut c = compile(&p, &CompileOptions::default()).unwrap();
+        for e in c.bases[0].table.iter_mut() {
+            *e = NonZeroU16::new(77);
+        }
+        let mut regs = RegFile::new(&p);
+        assert!(c.bases[0].fire_probed(&p, &[int(0)], &mut regs, &inp, &Null).is_err());
     }
 
     #[test]

@@ -28,6 +28,7 @@ pub mod pretty;
 pub mod probe;
 pub mod token;
 pub mod value;
+pub mod vm;
 
 pub use ast::Program;
 pub use compile::{compile, compile_rulebase, CompileOptions, CompileWarning, ConflictKind};
@@ -41,3 +42,4 @@ pub use interp::{CompiledProgram, CompiledRuleBase};
 pub use parser::parse;
 pub use probe::{InterpProbe, Stage};
 pub use value::{Domain, Type, Value};
+pub use vm::{Backend, VmProgram};

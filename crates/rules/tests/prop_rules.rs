@@ -197,7 +197,9 @@ proptest! {
         prop_assert_eq!(b.entries, product.max(1));
         prop_assert_eq!(b.table.len() as u64, b.entries);
         for &e in &b.table {
-            prop_assert!((e as usize) <= premises.len());
+            if let Some(nz) = e {
+                prop_assert!((nz.get() as usize) <= premises.len());
+            }
         }
     }
 }

@@ -59,6 +59,7 @@
 
 mod arena;
 pub mod engine;
+pub mod envlock;
 pub mod flit;
 pub mod network;
 pub mod plan;

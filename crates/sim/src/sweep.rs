@@ -158,20 +158,19 @@ mod tests {
 
     #[test]
     fn worker_count_respects_env_override() {
-        // set/remove FTR_THREADS around the calls; the test binary runs
-        // tests concurrently, so serialize on a local lock to keep other
-        // env-reading tests (none today) from racing
-        static LOCK: parking_lot::Mutex<()> = parking_lot::Mutex::new(());
-        let _g = LOCK.lock();
-        std::env::set_var("FTR_THREADS", "3");
+        // mutating the process environment is global: serialize through
+        // the workspace-wide env lock, which also restores the pre-test
+        // value of FTR_THREADS on drop (even on panic)
+        let mut env = crate::envlock::EnvGuard::new();
+        env.set("FTR_THREADS", "3");
         assert_eq!(worker_count(), 3);
-        std::env::set_var("FTR_THREADS", " 5 ");
+        env.set("FTR_THREADS", " 5 ");
         assert_eq!(worker_count(), 5, "whitespace-tolerant");
-        std::env::set_var("FTR_THREADS", "0");
+        env.set("FTR_THREADS", "0");
         assert_eq!(worker_count(), default_threads(), "zero falls back");
-        std::env::set_var("FTR_THREADS", "lots");
+        env.set("FTR_THREADS", "lots");
         assert_eq!(worker_count(), default_threads(), "garbage falls back");
-        std::env::remove_var("FTR_THREADS");
+        env.remove("FTR_THREADS");
         assert_eq!(worker_count(), default_threads());
     }
 
