@@ -1,0 +1,94 @@
+//! `regress` — the statistical CI perf gate.
+//!
+//! ```text
+//! regress [--baseline <dir>] [--fresh <dir>] [--baseline-only]
+//! ```
+//!
+//! Walks the gate table of [`ftr_bench::regress`]: for every
+//! `BENCH_*.json` artifact it checks exact invariants (experiment tag,
+//! bit-identity flags, structural shape) on both the committed baseline
+//! (`--baseline`, default `results`) and the freshly measured smoke run
+//! (`--fresh`, default `ci_results`), then compares the noise-banded
+//! metrics — median/MAD robust summaries, min-of-k for lower-is-better
+//! — of fresh against baseline. Replaces the per-experiment python
+//! gates that used to live inline in the CI workflow.
+//!
+//! A missing fresh artifact is a failure (a silently skipped benchmark
+//! is how perf gates rot); `--baseline-only` validates just the
+//! committed tree, for use before the smoke runs exist. Exits 1 on any
+//! deviation, listing every one.
+
+use ftr_bench::regress::{check_invariants, check_metric, gates};
+use ftr_obs::json;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn load(dir: &Path, file: &str) -> Result<json::Value, String> {
+    let path = dir.join(format!("{file}.json"));
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("{file}: cannot read {}: {e}", path.display()))?;
+    json::parse(&text).map_err(|e| format!("{file}: {} is not valid JSON: {e}", path.display()))
+}
+
+fn main() -> ExitCode {
+    let mut baseline = PathBuf::from("results");
+    let mut fresh = PathBuf::from("ci_results");
+    let mut baseline_only = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--baseline" => baseline = it.next().expect("--baseline needs a dir").into(),
+            "--fresh" => fresh = it.next().expect("--fresh needs a dir").into(),
+            "--baseline-only" => baseline_only = true,
+            other => {
+                eprintln!(
+                    "unknown argument `{other}`\n\
+                     usage: regress [--baseline <dir>] [--fresh <dir>] [--baseline-only]"
+                );
+                return ExitCode::from(1);
+            }
+        }
+    }
+
+    let mut deviations: Vec<String> = Vec::new();
+    let mut checked = 0usize;
+    for gate in gates() {
+        let base = match load(&baseline, gate.file) {
+            Ok(v) => v,
+            Err(e) => {
+                deviations.push(format!("baseline {e}"));
+                continue;
+            }
+        };
+        check_invariants(gate, "baseline", &base, &mut deviations);
+        checked += 1;
+        if baseline_only {
+            continue;
+        }
+        let fresh_v = match load(&fresh, gate.file) {
+            Ok(v) => v,
+            Err(e) => {
+                deviations.push(format!("fresh {e}"));
+                continue;
+            }
+        };
+        check_invariants(gate, "fresh", &fresh_v, &mut deviations);
+        for spec in gate.metrics {
+            check_metric(gate, spec, &fresh_v, &base, &mut deviations);
+        }
+    }
+
+    if deviations.is_empty() {
+        println!(
+            "regress: {checked} artifacts clean ({} mode)",
+            if baseline_only { "baseline-only" } else { "baseline vs fresh" }
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("regress: {} deviation(s):", deviations.len());
+        for d in &deviations {
+            eprintln!("  - {d}");
+        }
+        ExitCode::from(1)
+    }
+}

@@ -13,7 +13,9 @@ use ftr_sim::{Network, Pattern, SimConfig, TrafficSource};
 use ftr_topo::Topology;
 use std::sync::Arc;
 
+pub mod fleetjob;
 pub mod harness;
+pub mod regress;
 pub mod results;
 
 /// One point of a latency/throughput curve.

@@ -7,7 +7,7 @@
 //! `JsonlSink` per run (see [`trace_sink`]), so any sweep can be
 //! replayed through `ftr-trace` after the fact.
 
-use ftr_obs::{json, JsonlSink};
+use ftr_obs::{json, BinSink, FtbHeader, JsonlSink};
 use std::path::PathBuf;
 use std::sync::Arc;
 
@@ -25,19 +25,36 @@ pub fn trace_dir() -> Option<PathBuf> {
     std::env::var_os("FTR_TRACE_DIR").map(PathBuf::from)
 }
 
-/// When `FTR_TRACE_DIR` is set, creates `<dir>/<label>.jsonl` and
-/// returns a sink streaming this run's events into it. `label` is
-/// sanitised to `[A-Za-z0-9._-]`, so callers can pass algorithm names
-/// (`rule:xy`) or parameter tuples verbatim.
-pub fn trace_sink(label: &str) -> Option<Arc<JsonlSink<std::fs::File>>> {
+/// Sanitised trace-capture path: `<FTR_TRACE_DIR>/<label>.<ext>`, with
+/// `label` restricted to `[A-Za-z0-9._-]` so callers can pass algorithm
+/// names (`rule:xy`) or parameter tuples verbatim.
+fn trace_path(label: &str, ext: &str) -> Option<PathBuf> {
     let dir = trace_dir()?;
     std::fs::create_dir_all(&dir).unwrap_or_else(|e| panic!("cannot create {dir:?}: {e}"));
     let clean: String = label
         .chars()
         .map(|c| if c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-') { c } else { '-' })
         .collect();
-    let path = dir.join(format!("{clean}.jsonl"));
+    Some(dir.join(format!("{clean}.{ext}")))
+}
+
+/// When `FTR_TRACE_DIR` is set, creates `<dir>/<label>.jsonl` and
+/// returns a sink streaming this run's events into it.
+pub fn trace_sink(label: &str) -> Option<Arc<JsonlSink<std::fs::File>>> {
+    let path = trace_path(label, "jsonl")?;
     let sink = JsonlSink::create(&path).unwrap_or_else(|e| panic!("cannot create {path:?}: {e}"));
+    Some(Arc::new(sink))
+}
+
+/// When `FTR_TRACE_DIR` is set, creates `<dir>/<label>.ftb` and returns
+/// a compact binary sink streaming this run's events into it. The
+/// header travels with the file, so a fleet capture replays without the
+/// manifest that produced it. Callers should `finalize()` (or drop) the
+/// sink before reading the capture back.
+pub fn ftb_sink(label: &str, header: FtbHeader) -> Option<Arc<BinSink<std::fs::File>>> {
+    let path = trace_path(label, "ftb")?;
+    let sink =
+        BinSink::create(&path, header).unwrap_or_else(|e| panic!("cannot create {path:?}: {e}"));
     Some(Arc::new(sink))
 }
 

@@ -8,13 +8,15 @@
 //!
 //! Three pieces:
 //!
-//! - **Event tracing** ([`event`], [`sink`]): typed, cycle-stamped
-//!   [`TraceEvent`]s (injection, per-hop routing decisions with step
-//!   counts, VC-allocation stalls, kills, fault injection, control-plane
-//!   settling) flow into a [`TraceSink`] — a bounded [`RingSink`] for
-//!   analysis in-process, or a [`JsonlSink`] streaming JSON Lines to disk.
-//!   The simulator emits through closures, so with no sink attached no
-//!   event is ever constructed.
+//! - **Event tracing** ([`event`], [`sink`], [`ftb`]): typed,
+//!   cycle-stamped [`TraceEvent`]s (injection, per-hop routing decisions
+//!   with step counts, VC-allocation stalls, kills, fault injection,
+//!   control-plane settling) flow into a [`TraceSink`] — a bounded
+//!   [`RingSink`] for analysis in-process, a [`JsonlSink`] streaming
+//!   JSON Lines to disk, or a [`BinSink`] streaming the compact FTB
+//!   binary format (varint + cycle-delta encoded, ~10x smaller, read
+//!   back by the streaming [`FtbReader`]). The simulator emits through
+//!   closures, so with no sink attached no event is ever constructed.
 //! - **Metrics** ([`metrics`]): a [`MetricsRegistry`] of named counters
 //!   and log₂-bucketed histograms with JSON/CSV exporters; the bench
 //!   binaries publish their results through it into `results/*.json`.
@@ -30,12 +32,14 @@
 //! offline half of the `ftr-trace` diagnosis pipeline.
 
 pub mod event;
+pub mod ftb;
 pub mod json;
 pub mod metrics;
 pub mod profile;
 pub mod sink;
 
 pub use event::{EventKind, RouteOutcome, TraceEvent};
+pub use ftb::{BinSink, FtbHeader, FtbReader};
 pub use json::Value;
 pub use metrics::{Counter, HistSnapshot, Histogram, MetricsRegistry};
 pub use profile::{InterpProfiler, StageCost};

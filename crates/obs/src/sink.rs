@@ -128,7 +128,12 @@ impl<W: Write + Send> TraceSink for JsonlSink<W> {
     }
 
     fn flush(&self) {
-        let _ = self.out.lock().flush();
+        // a failed flush loses buffered lines that `record` already
+        // counted as written — surface it instead of pretending the
+        // trace is whole
+        if self.out.lock().flush().is_err() {
+            *self.write_errors.lock() += 1;
+        }
     }
 }
 

@@ -60,6 +60,7 @@
 mod arena;
 pub mod engine;
 pub mod envlock;
+pub mod fleet;
 pub mod flit;
 pub mod network;
 pub mod plan;
@@ -70,6 +71,7 @@ pub mod sweep;
 pub mod traffic;
 
 pub use engine::SimEngine;
+pub use fleet::{run_fleet, FleetJob, FleetOutcome};
 pub use flit::{Flit, FlitKind, Header, MessageId};
 pub use network::{BuildError, Network, NetworkBuilder, RetryPolicy, SendError, SimConfig};
 pub use plan::{FaultAction, FaultPlan, PlannedAction};

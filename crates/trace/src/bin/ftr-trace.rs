@@ -1,21 +1,20 @@
-//! `ftr-trace` — analyse a JSONL trace stream.
+//! `ftr-trace` — analyse a trace stream (JSONL or FTB).
 //!
 //! ```text
-//! ftr-trace <trace.jsonl> [--report <out.json>] [--top <n>]
+//! ftr-trace <trace.jsonl | trace.ftb | -> [--report <out.json>] [--top <n>]
 //!           [--no-diagnose] [--scan-period <n>] [--stale-window <n>]
 //!           [--min-blocked <n>] [--starvation-window <n>]
 //! ```
 //!
-//! Reads the trace (as written by `JsonlSink`; `-` for stdin), folds it
-//! into journeys, replays it through the online diagnoser, prints a
-//! human summary to stdout and, with `--report`, writes the
-//! machine-readable JSON report (validated before writing). Exits 1 on
-//! usage or I/O errors, 2 on a malformed trace line.
+//! Reads the trace — JSON Lines as written by `JsonlSink` or compact
+//! binary FTB as written by `BinSink`, sniffed from content, `-` for
+//! stdin — folds it into journeys, replays it through the online
+//! diagnoser, prints a human summary to stdout and, with `--report`,
+//! writes the machine-readable JSON report (validated before writing).
+//! Exits 1 on usage or I/O errors, 2 on a malformed or truncated trace.
 
 use ftr_obs::json;
-use ftr_obs::{TraceEvent, TraceSink};
-use ftr_trace::{DiagnoserConfig, DiagnoserSink, JourneyBook, TraceReport};
-use std::io::{BufRead, BufReader, Read};
+use ftr_trace::{DiagnoserConfig, DiagnoserSink, EventReader, JourneyBook, ReadError, TraceReport};
 use std::process::ExitCode;
 
 struct Args {
@@ -27,7 +26,7 @@ struct Args {
 }
 
 fn usage() -> String {
-    "usage: ftr-trace <trace.jsonl | -> [--report <out.json>] [--top <n>] \
+    "usage: ftr-trace <trace.jsonl | trace.ftb | -> [--report <out.json>] [--top <n>] \
      [--no-diagnose] [--scan-period <n>] [--stale-window <n>] \
      [--min-blocked <n>] [--starvation-window <n>]"
         .to_string()
@@ -72,35 +71,28 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
 }
 
 fn run(args: &Args) -> Result<(TraceReport, u64), (u8, String)> {
-    let reader: Box<dyn Read> = if args.input == "-" {
-        Box::new(std::io::stdin())
-    } else {
-        Box::new(
-            std::fs::File::open(&args.input)
-                .map_err(|e| (1, format!("cannot open {}: {e}", args.input)))?,
-        )
+    let io_err = |e: ReadError| match e {
+        ReadError::Io(m) => (1, m),
+        ReadError::Malformed(m) => (2, m),
     };
+    let reader = if args.input == "-" {
+        EventReader::from_reader(std::io::stdin())
+    } else {
+        EventReader::open(&args.input)
+    }
+    .map_err(io_err)?;
+    if let Some(h) = reader.header() {
+        let meta: Vec<String> = h.meta.iter().map(|(k, v)| format!("{k}={v}")).collect();
+        eprintln!(
+            "ftr-trace: ftb stream (schema {}){}",
+            h.schema,
+            if meta.is_empty() { String::new() } else { format!(", {}", meta.join(", ")) }
+        );
+    }
     let mut book = JourneyBook::new();
     let diag = args.diagnose.then(|| DiagnoserSink::new(args.cfg));
-    let mut lines = 0u64;
-    for (i, line) in BufReader::new(reader).lines().enumerate() {
-        let line = line.map_err(|e| (1, format!("read error at line {}: {e}", i + 1)))?;
-        if line.trim().is_empty() {
-            continue;
-        }
-        let ev = TraceEvent::from_json(&line)
-            .map_err(|e| (2, format!("malformed trace line {}: {e}", i + 1)))?;
-        book.fold(&ev);
-        if let Some(d) = &diag {
-            d.record(&ev);
-        }
-        lines += 1;
-    }
-    if let Some(d) = &diag {
-        // the trace may end inside a scan period; close it out
-        d.scan_now();
-    }
-    Ok((TraceReport::build(&book, diag.as_ref(), args.top), lines))
+    let events = ftr_trace::replay(reader, &mut book, diag.as_ref()).map_err(io_err)?;
+    Ok((TraceReport::build(&book, diag.as_ref(), args.top), events))
 }
 
 fn main() -> ExitCode {

@@ -1,0 +1,283 @@
+//! Format-transparent trace input: JSONL or FTB, sniffed from content.
+//!
+//! Every consumer in this crate folds [`TraceEvent`]s; which bytes they
+//! came from is an input detail. [`EventReader`] hides it: it peeks at
+//! the first four bytes of any stream — file or stdin — and decodes
+//! either JSON Lines (as written by `JsonlSink`) or the compact FTB
+//! binary format (as written by `BinSink`), yielding the same typed
+//! events either way. Both paths are streaming: neither materializes
+//! the trace, so a multi-gigabyte fleet capture replays in O(1) memory.
+//!
+//! [`replay`] is the canonical consumption loop — feed every event to a
+//! [`JourneyBook`] and (optionally) a [`DiagnoserSink`] — shared by the
+//! `ftr-trace` CLI and the differential tests.
+
+use crate::diagnose::DiagnoserSink;
+use crate::journey::JourneyBook;
+use ftr_obs::ftb::{FtbHeader, FtbReader, FTB_MAGIC};
+use ftr_obs::{TraceEvent, TraceSink};
+use std::io::{BufRead, BufReader, Cursor, Read};
+use std::path::Path;
+
+/// The wire format a stream turned out to be.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceFormat {
+    /// JSON Lines, one `TraceEvent::to_json()` object per line.
+    Jsonl,
+    /// Compact binary (`ftr_obs::ftb`).
+    Ftb,
+}
+
+impl TraceFormat {
+    /// Lowercase name for messages.
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceFormat::Jsonl => "jsonl",
+            TraceFormat::Ftb => "ftb",
+        }
+    }
+}
+
+/// Why reading a trace stopped.
+#[derive(Clone, Debug)]
+pub enum ReadError {
+    /// The underlying reader failed (I/O, not content).
+    Io(String),
+    /// The content is not a valid trace (bad JSON line, bad opcode,
+    /// truncated FTB stream).
+    Malformed(String),
+}
+
+impl std::fmt::Display for ReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReadError::Io(m) | ReadError::Malformed(m) => f.write_str(m),
+        }
+    }
+}
+
+type Input = BufReader<Box<dyn Read>>;
+
+enum Inner {
+    Jsonl { r: Input, line_no: u64 },
+    Ftb(Box<FtbReader<Input>>),
+}
+
+/// A streaming reader over either trace format.
+pub struct EventReader {
+    inner: Inner,
+}
+
+impl EventReader {
+    /// Opens `path` and sniffs its format from the leading bytes.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, ReadError> {
+        let f = std::fs::File::open(&path)
+            .map_err(|e| ReadError::Io(format!("cannot open {}: {e}", path.as_ref().display())))?;
+        EventReader::from_reader(f)
+    }
+
+    /// Wraps any byte stream (e.g. stdin) and sniffs its format.
+    ///
+    /// A stream shorter than the FTB magic is treated as (possibly
+    /// empty) JSONL — an empty trace is valid in both formats and folds
+    /// to an empty book either way.
+    pub fn from_reader(r: impl Read + 'static) -> Result<Self, ReadError> {
+        let mut r: Box<dyn Read> = Box::new(r);
+        // peek exactly enough to recognize the magic, then stitch the
+        // consumed prefix back in front of the rest
+        let mut prefix = [0u8; 4];
+        let mut got = 0;
+        while got < 4 {
+            match r.read(&mut prefix[got..]) {
+                Ok(0) => break,
+                Ok(n) => got += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(ReadError::Io(format!("read error: {e}"))),
+            }
+        }
+        let is_ftb = got == 4 && prefix == FTB_MAGIC;
+        let whole: Box<dyn Read> = Box::new(Cursor::new(prefix[..got].to_vec()).chain(r));
+        let buf = BufReader::new(whole);
+        if is_ftb {
+            let ftb = FtbReader::from_reader(buf).map_err(ReadError::Malformed)?;
+            Ok(EventReader { inner: Inner::Ftb(Box::new(ftb)) })
+        } else {
+            Ok(EventReader { inner: Inner::Jsonl { r: buf, line_no: 0 } })
+        }
+    }
+
+    /// Which format the stream turned out to be.
+    pub fn format(&self) -> TraceFormat {
+        match &self.inner {
+            Inner::Jsonl { .. } => TraceFormat::Jsonl,
+            Inner::Ftb(_) => TraceFormat::Ftb,
+        }
+    }
+
+    /// The FTB stream header, when the stream is FTB.
+    pub fn header(&self) -> Option<&FtbHeader> {
+        match &self.inner {
+            Inner::Jsonl { .. } => None,
+            Inner::Ftb(r) => Some(r.header()),
+        }
+    }
+}
+
+impl Iterator for EventReader {
+    type Item = Result<TraceEvent, ReadError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match &mut self.inner {
+            Inner::Jsonl { r, line_no } => {
+                let mut line = String::new();
+                loop {
+                    line.clear();
+                    *line_no += 1;
+                    match r.read_line(&mut line) {
+                        Ok(0) => return None,
+                        Ok(_) => {
+                            if line.trim().is_empty() {
+                                continue;
+                            }
+                            return Some(TraceEvent::from_json(line.trim_end()).map_err(|e| {
+                                ReadError::Malformed(format!("malformed trace line {line_no}: {e}"))
+                            }));
+                        }
+                        Err(e) => {
+                            return Some(Err(ReadError::Io(format!(
+                                "read error at line {line_no}: {e}"
+                            ))));
+                        }
+                    }
+                }
+            }
+            Inner::Ftb(r) => r.next().map(|res| res.map_err(ReadError::Malformed)),
+        }
+    }
+}
+
+/// Folds every event of `reader` into `book` and, when given, the
+/// online diagnoser (closing out its final scan period). Returns the
+/// number of events consumed; stops at the first malformed event.
+pub fn replay(
+    reader: EventReader,
+    book: &mut JourneyBook,
+    diag: Option<&DiagnoserSink>,
+) -> Result<u64, ReadError> {
+    let mut n = 0u64;
+    for ev in reader {
+        let ev = ev?;
+        book.fold(&ev);
+        if let Some(d) = diag {
+            d.record(&ev);
+        }
+        n += 1;
+    }
+    if let Some(d) = diag {
+        // the trace may end inside a scan period; close it out
+        d.scan_now();
+    }
+    Ok(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftr_obs::ftb::BinSink;
+    use ftr_obs::{EventKind, JsonlSink};
+    use ftr_topo::NodeId;
+
+    fn events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent {
+                cycle: 0,
+                kind: EventKind::Inject { msg: 1, src: NodeId(0), dst: NodeId(3), len_flits: 4 },
+            },
+            TraceEvent { cycle: 9, kind: EventKind::Deliver { node: NodeId(3), msg: 1 } },
+        ]
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("ftr-input-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn sniffs_and_reads_both_formats() {
+        let jsonl = tmp("t.jsonl");
+        let ftb = tmp("t.ftb");
+        {
+            let s = JsonlSink::create(&jsonl).unwrap();
+            events().iter().for_each(|e| s.record(e));
+        }
+        {
+            let s = BinSink::create(&ftb, FtbHeader::new().with("seed", 5u64)).unwrap();
+            events().iter().for_each(|e| s.record(e));
+            s.finalize().unwrap();
+        }
+        let r = EventReader::open(&jsonl).unwrap();
+        assert_eq!(r.format(), TraceFormat::Jsonl);
+        assert!(r.header().is_none());
+        let a: Vec<TraceEvent> = r.map(|e| e.unwrap()).collect();
+
+        let r = EventReader::open(&ftb).unwrap();
+        assert_eq!(r.format(), TraceFormat::Ftb);
+        assert_eq!(r.header().unwrap().seed(), Some(5));
+        let b: Vec<TraceEvent> = r.map(|e| e.unwrap()).collect();
+
+        assert_eq!(a, events());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_and_tiny_streams_are_jsonl() {
+        let r = EventReader::from_reader(std::io::empty()).unwrap();
+        assert_eq!(r.format(), TraceFormat::Jsonl);
+        assert_eq!(r.count(), 0);
+        let r = EventReader::from_reader(&b"\n\n"[..]).unwrap();
+        assert_eq!(r.count(), 0);
+    }
+
+    #[test]
+    fn replay_folds_both_formats_identically() {
+        let mut direct = JourneyBook::new();
+        direct.fold_all(&events());
+
+        let ftb = tmp("r.ftb");
+        let s = BinSink::create(&ftb, FtbHeader::new()).unwrap();
+        events().iter().for_each(|e| s.record(e));
+        s.finalize().unwrap();
+
+        let mut book = JourneyBook::new();
+        let n = replay(EventReader::open(&ftb).unwrap(), &mut book, None).unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(book.summary(), direct.summary());
+    }
+
+    #[test]
+    fn malformed_lines_and_truncated_ftb_error_out() {
+        let r = EventReader::from_reader(&b"{\"cycle\":1}\n"[..]).unwrap();
+        let errs: Vec<_> = r.filter_map(|e| e.err()).collect();
+        assert_eq!(errs.len(), 1);
+        assert!(matches!(&errs[0], ReadError::Malformed(m) if m.contains("line 1")));
+
+        // an FTB stream cut before the END marker must not fold cleanly
+        let path = tmp("cut.ftb");
+        let s = BinSink::create(&path, FtbHeader::new()).unwrap();
+        events().iter().for_each(|e| s.record(e));
+        s.flush(); // no finalize
+        drop_without_finalize(s, &path);
+        let r = EventReader::open(&path).unwrap();
+        let last = r.last().unwrap();
+        assert!(matches!(last, Err(ReadError::Malformed(ref m)) if m.contains("truncated")));
+    }
+
+    /// Dropping a BinSink finalizes it; to model a crash-cut file,
+    /// truncate the END marker back off after the drop.
+    fn drop_without_finalize(s: BinSink<std::fs::File>, path: &std::path::Path) {
+        drop(s);
+        let bytes = std::fs::read(path).unwrap();
+        std::fs::write(path, &bytes[..bytes.len() - 1]).unwrap();
+    }
+}

@@ -21,16 +21,20 @@
 //!   witness naming the ring of messages and channels, and flags
 //!   starved messages — all without touching engine internals.
 //!
-//! The `ftr-trace` binary reads a JSONL trace (as written by
-//! `JsonlSink`, e.g. via the bench harness's `FTR_TRACE_DIR`), replays
+//! The `ftr-trace` binary reads a trace in either format — JSONL as
+//! written by `JsonlSink`, or the compact binary FTB as written by
+//! `ftr_obs::BinSink` (both reachable via the bench harness's
+//! `FTR_TRACE_DIR`) — sniffed from content by [`EventReader`], replays
 //! it through both halves, prints the human summary and optionally
 //! writes the JSON report.
 
 pub mod diagnose;
+pub mod input;
 pub mod journey;
 pub mod report;
 
 pub use diagnose::{DeadlockWitness, DiagnoserConfig, DiagnoserSink, Starvation, WaitEdge};
+pub use input::{replay, EventReader, ReadError, TraceFormat};
 pub use journey::{
     Attempt, Attribution, BookSummary, ChannelKey, ChannelStats, ChannelUse, Hop, Journey,
     JourneyBook, Outcome, Tally,

@@ -32,6 +32,10 @@ pub struct TraceReport {
     pub deadlock: Option<DeadlockWitness>,
     /// Starvation reports, when a diagnoser ran.
     pub starved: Vec<Starvation>,
+    /// Events the producing sink failed to write (`write_errors()` of a
+    /// `JsonlSink`/`BinSink`), when the producer is known. `Some(n > 0)`
+    /// brands the whole report: it was folded from an incomplete trace.
+    pub trace_write_errors: Option<u64>,
 }
 
 impl TraceReport {
@@ -58,7 +62,16 @@ impl TraceReport {
             top_stalled: by_stall,
             deadlock: diag.and_then(DiagnoserSink::deadlock),
             starved: diag.map(|d| d.starved()).unwrap_or_default(),
+            trace_write_errors: None,
         }
+    }
+
+    /// Records how many events the producing sink failed to write, for
+    /// reports built in-process next to the sink that captured the
+    /// trace (offline consumers cannot know and leave it `None`).
+    pub fn with_write_errors(mut self, n: u64) -> Self {
+        self.trace_write_errors = Some(n);
+        self
     }
 
     /// Renders the report as one JSON object (validated against the
@@ -98,6 +111,10 @@ impl TraceReport {
             }
         }
         o.num("orphans", self.orphans);
+        match self.trace_write_errors {
+            Some(n) => o.num("trace_write_errors", n),
+            None => o.field("trace_write_errors", "null"),
+        };
         o.field("anomalies", json::array(self.anomalies.iter().map(|a| json::string(a))));
         o.num("fault_events", self.fault_events);
         o.num("repair_events", self.repair_events);
@@ -248,6 +265,12 @@ impl TraceReport {
                 self.orphans
             );
         }
+        if let Some(n) = self.trace_write_errors.filter(|&n| n > 0) {
+            let _ = writeln!(
+                out,
+                "warning: the capturing sink dropped {n} events — this trace is incomplete"
+            );
+        }
         if !self.anomalies.is_empty() {
             let _ = writeln!(
                 out,
@@ -324,6 +347,22 @@ mod tests {
         let at = v.get("attribution").unwrap();
         assert_eq!(at.get("total").and_then(|x| x.as_u64()), Some(9));
         assert_eq!(at.get("src_queue").and_then(|x| x.as_u64()), Some(1));
+    }
+
+    #[test]
+    fn write_errors_surface_in_json_and_summary() {
+        let book = small_book();
+        let clean = TraceReport::build(&book, None, 10);
+        let v = json::parse(&clean.to_json()).unwrap();
+        assert!(v.get("trace_write_errors").unwrap().is_null(), "unknown producer stays null");
+
+        let dirty = TraceReport::build(&book, None, 10).with_write_errors(3);
+        let v = json::parse(&dirty.to_json()).unwrap();
+        assert_eq!(v.get("trace_write_errors").and_then(|x| x.as_u64()), Some(3));
+        assert!(dirty.human_summary().contains("dropped 3 events"), "{}", dirty.human_summary());
+
+        let whole = TraceReport::build(&book, None, 10).with_write_errors(0);
+        assert!(!whole.human_summary().contains("incomplete"));
     }
 
     #[test]
