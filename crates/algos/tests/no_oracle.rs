@@ -1,0 +1,166 @@
+//! No-oracle mode: silent faults (armed without `notify_fault`) against
+//! NAFTA and ROUTE_C, with and without the heartbeat detection layer.
+//!
+//! The contrast these tests pin down is the tentpole claim of the
+//! detection work: both algorithms route purely on *learned* fault
+//! state, so a fault nobody announces leaves messages waiting forever
+//! on the dead output and the watchdog declares deadlock — while the
+//! same run wrapped in [`WithDetection`] converts heartbeat timeouts
+//! into the very `on_fault` calls the oracle used to make, and delivery
+//! resumes through misrouting.
+
+use ftr_algos::{Nafta, RouteC};
+use ftr_sim::detect::{DetectorConfig, WithDetection};
+use ftr_sim::plan::{FaultAction, FaultPlan};
+use ftr_sim::{Network, RetryPolicy};
+use ftr_topo::{Hypercube, Mesh2D, NodeId, PortId, Topology, EAST};
+use std::sync::Arc;
+
+const MSG_LEN: u32 = 4;
+
+/// A mesh message pinned to one row has a single minimal direction, so
+/// a silent fault on a row link is unavoidable without misrouting.
+#[test]
+fn nafta_without_detection_deadlocks_on_silent_fault() {
+    let mesh = Mesh2D::new(6, 6);
+    let blocked = mesh.node_at(2, 3);
+    let plan = FaultPlan::new().at(1, FaultAction::FailLinkSilent(blocked, EAST));
+    let mut net = Network::builder(Arc::new(mesh.clone()))
+        .fault_plan(plan)
+        .deadlock_threshold(100)
+        .build(&Nafta::new(mesh.clone()))
+        .expect("valid");
+    net.run(2); // arm the fault before the message approaches it
+    net.send(mesh.node_at(0, 3), mesh.node_at(5, 3), MSG_LEN).expect("alive");
+    assert!(!net.drain(3_000), "nobody tells NAFTA, so the worm waits forever");
+    assert!(net.stats.deadlock, "the watchdog is the only observer left");
+    assert_eq!(net.stats.delivered_msgs, 0);
+    assert_eq!(net.stats.control_msgs, 0, "silent means no notification wave");
+}
+
+#[test]
+fn nafta_with_detection_recovers_from_silent_fault() {
+    let mesh = Mesh2D::new(6, 6);
+    let blocked = mesh.node_at(2, 3);
+    let plan = FaultPlan::new().at(10, FaultAction::FailLinkSilent(blocked, EAST));
+    let algo = WithDetection::new(Nafta::new(mesh.clone()), DetectorConfig { miss_threshold: 3 });
+    let mut net = Network::builder(Arc::new(mesh.clone()))
+        .fault_plan(plan)
+        .tick_period(4)
+        .retry(RetryPolicy { max_attempts: 8, backoff_cycles: 32 })
+        .build(&algo)
+        .expect("valid");
+    // the message departs after the silent fault but before any detector
+    // could have noticed it — it walks east and waits at the dead link
+    net.run(12);
+    net.send(mesh.node_at(0, 3), mesh.node_at(5, 3), MSG_LEN).expect("alive");
+    assert!(net.drain(3_000), "alarms re-arm NAFTA's misrouting");
+    assert!(!net.stats.deadlock);
+    assert_eq!(net.stats.delivered_msgs, 1, "the waiting worm reroutes and lands");
+    assert!(net.stats.control_msgs > 0, "heartbeats and fault waves flowed");
+    assert!(net.stats.control_dropped > 0, "probes into the dead link are accounted");
+    assert!(net.stats.accounting_balanced());
+}
+
+/// After a silent *repair*, pong resumption must un-learn the fault:
+/// NAFTA's reset wave re-runs propagation and minimal routing returns.
+#[test]
+fn nafta_with_detection_unlearns_after_silent_repair() {
+    let mesh = Mesh2D::new(6, 6);
+    let blocked = mesh.node_at(2, 3);
+    let plan = FaultPlan::new()
+        .at(10, FaultAction::FailLinkSilent(blocked, EAST))
+        .at(120, FaultAction::RepairLinkSilent(blocked, EAST));
+    let algo = WithDetection::new(Nafta::new(mesh.clone()), DetectorConfig { miss_threshold: 3 });
+    let mut net = Network::builder(Arc::new(mesh.clone()))
+        .fault_plan(plan)
+        .tick_period(4)
+        .retry(RetryPolicy { max_attempts: 8, backoff_cycles: 32 })
+        .build(&algo)
+        .expect("valid");
+    net.run(400); // fault detected, repair detected, reset wave settled
+    let before = net.stats.control_msgs;
+    net.send(mesh.node_at(0, 3), mesh.node_at(5, 3), MSG_LEN).expect("alive");
+    assert!(net.drain(3_000));
+    assert_eq!(net.stats.delivered_msgs, 1);
+    // five minimal hops and one decision per hop — a misroute around the
+    // (repaired) link would need at least two extra link traversals
+    assert!(
+        net.stats.latency.sum <= 5 * (MSG_LEN as u64 + 6),
+        "post-repair route must be minimal again, latency {}",
+        net.stats.latency.sum
+    );
+    assert!(net.stats.control_msgs > before, "heartbeats kept flowing after repair");
+}
+
+/// A one-bit hypercube pair has exactly one minimal link; kill it
+/// silently and ROUTE_C waits forever.
+#[test]
+fn route_c_without_detection_deadlocks_on_silent_fault() {
+    let cube = Hypercube::new(3);
+    let plan = FaultPlan::new().at(1, FaultAction::FailLinkSilent(NodeId(0), PortId(0)));
+    let mut net = Network::builder(Arc::new(cube.clone()))
+        .fault_plan(plan)
+        .deadlock_threshold(100)
+        .build(&RouteC::new(cube.clone()))
+        .expect("valid");
+    net.run(2);
+    net.send(NodeId(0), NodeId(1), MSG_LEN).expect("alive");
+    assert!(!net.drain(3_000));
+    assert!(net.stats.deadlock);
+    assert_eq!(net.stats.delivered_msgs, 0);
+}
+
+#[test]
+fn route_c_with_detection_recovers_from_silent_fault() {
+    let cube = Hypercube::new(3);
+    let plan = FaultPlan::new().at(10, FaultAction::FailLinkSilent(NodeId(0), PortId(0)));
+    let algo = WithDetection::new(RouteC::new(cube.clone()), DetectorConfig { miss_threshold: 3 });
+    let mut net = Network::builder(Arc::new(cube.clone()))
+        .fault_plan(plan)
+        .tick_period(4)
+        .retry(RetryPolicy { max_attempts: 8, backoff_cycles: 32 })
+        .build(&algo)
+        .expect("valid");
+    net.run(12);
+    net.send(NodeId(0), NodeId(1), MSG_LEN).expect("alive");
+    assert!(net.drain(3_000), "spare-dimension routing takes over once the alarm lands");
+    assert!(!net.stats.deadlock);
+    assert_eq!(net.stats.delivered_msgs, 1);
+    assert!(net.stats.accounting_balanced());
+}
+
+/// Detection must change nothing on a healthy network: same deliveries,
+/// zero drops, and (other than heartbeat traffic) the same behaviour as
+/// the bare algorithm under identical load.
+#[test]
+fn detection_wrapper_is_transparent_when_fault_free() {
+    let run = |detect: bool| {
+        let mesh = Mesh2D::new(6, 6);
+        let mut b = Network::builder(Arc::new(mesh.clone()));
+        if detect {
+            b = b.tick_period(4);
+        }
+        let mut net = if detect {
+            b.build(&WithDetection::new(Nafta::new(mesh.clone()), DetectorConfig::default()))
+                .expect("valid")
+        } else {
+            b.build(&Nafta::new(mesh.clone())).expect("valid")
+        };
+        let n = mesh.num_nodes() as u32;
+        for i in 0..n {
+            let (src, dst) = (NodeId(i), NodeId((i * 7 + 11) % n));
+            if src != dst {
+                net.send(src, dst, MSG_LEN).expect("alive");
+            }
+        }
+        assert!(net.drain(10_000));
+        net.stats.clone()
+    };
+    let bare = run(false);
+    let detected = run(true);
+    assert_eq!(bare.delivered_msgs, detected.delivered_msgs);
+    assert_eq!(detected.control_dropped, 0, "no false drops on a healthy fabric");
+    assert_eq!(detected.killed_msgs, 0);
+    assert!(detected.control_msgs > bare.control_msgs, "the difference is heartbeat traffic");
+}

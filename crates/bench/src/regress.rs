@@ -354,6 +354,39 @@ fn inv_trace(v: &Value, out: &mut Vec<String>) {
     require_positive(v, "decode_events_per_sec", out);
 }
 
+fn inv_detect(v: &Value, out: &mut Vec<String>) {
+    // correctness half of E22: zero false positives on fault-free runs
+    // and a live recovery story in every campaign arm — exact claims,
+    // no noise band
+    require_true(v, "false_positive_free", out);
+    require_positive(v, "detection_latency_cycles", out);
+    match v.get("grid").and_then(|g| g.as_arr()) {
+        Some(pts) if !pts.is_empty() => {
+            for (i, p) in pts.iter().enumerate() {
+                if p.get("fault_free_alarms").and_then(|x| x.as_f64()) != Some(0.0) {
+                    out.push(format!("`grid[{i}].fault_free_alarms` must be 0"));
+                }
+            }
+        }
+        _ => out.push("`grid` must be a non-empty array".into()),
+    }
+    match v.get("campaign").and_then(|c| c.get("arms")).and_then(|a| a.as_arr()) {
+        Some(arms) if !arms.is_empty() => {
+            for (i, a) in arms.iter().enumerate() {
+                let flag =
+                    |k: &str| a.get(k).and_then(|x| x.get("deadlock")).and_then(Value::as_bool);
+                if flag("silent_nodetect") != Some(true) {
+                    out.push(format!("`campaign.arms[{i}].silent_nodetect.deadlock` must be true"));
+                }
+                if flag("silent_detect") != Some(false) {
+                    out.push(format!("`campaign.arms[{i}].silent_detect.deadlock` must be false"));
+                }
+            }
+        }
+        _ => out.push("`campaign.arms` must be a non-empty array".into()),
+    }
+}
+
 /// Every gated benchmark artifact. The `regress` binary walks this
 /// table; adding a benchmark to CI means adding a row here.
 pub fn gates() -> &'static [Gate] {
@@ -388,6 +421,30 @@ pub fn gates() -> &'static [Gate] {
             rel_tol: Some(0.5),
         },
     ];
+    // E22 is cycle-deterministic (no wall clock in any gated number), so
+    // the bars are tight: detection must beat the no-detection arm by a
+    // wide margin, stay near the oracle, and alarm within the suspicion
+    // window regardless of runner speed
+    const DETECT_METRICS: &[MetricSpec] = &[
+        MetricSpec {
+            path: "campaign.worst_recovery_margin",
+            better: Better::Higher,
+            bar: Some(0.2),
+            rel_tol: None,
+        },
+        MetricSpec {
+            path: "campaign.worst_detect_delivery_ratio",
+            better: Better::Higher,
+            bar: Some(0.9),
+            rel_tol: None,
+        },
+        MetricSpec {
+            path: "detection_latency_cycles",
+            better: Better::Lower,
+            bar: Some(40.0),
+            rel_tol: None,
+        },
+    ];
     &[
         Gate { file: "BENCH_step", experiment: "E17", invariants: inv_step, metrics: STEP_METRICS },
         Gate { file: "BENCH_opt", experiment: "E18", invariants: inv_opt, metrics: OPT_METRICS },
@@ -398,6 +455,12 @@ pub fn gates() -> &'static [Gate] {
             experiment: "E21",
             invariants: inv_trace,
             metrics: TRACE_METRICS,
+        },
+        Gate {
+            file: "BENCH_detect",
+            experiment: "E22",
+            invariants: inv_detect,
+            metrics: DETECT_METRICS,
         },
     ]
 }

@@ -184,6 +184,42 @@ pub enum EventKind {
         /// Cycles from the settle request until quiescence.
         cycles: u64,
     },
+    /// A liveness probe (ping) or its response (pong) left `node` through
+    /// `port` — detection-layer heartbeat traffic.
+    Heartbeat {
+        /// Probing node.
+        node: NodeId,
+        /// Port the probe left through.
+        port: PortId,
+        /// `false` = ping, `true` = pong.
+        pong: bool,
+    },
+    /// The detector at `node` began suspecting the neighbour behind
+    /// `port` after consecutive missed heartbeats.
+    Suspect {
+        /// Suspecting node.
+        node: NodeId,
+        /// Port towards the suspected neighbour.
+        port: PortId,
+        /// Consecutive misses when suspicion was raised.
+        misses: u32,
+    },
+    /// Suspicion hardened into an alarm: the detector at `node` declared
+    /// the link through `port` faulty and triggered reconfiguration.
+    Alarm {
+        /// Alarming node.
+        node: NodeId,
+        /// Port of the locally declared fault.
+        port: PortId,
+    },
+    /// A control-plane message was discarded at `node` because the link
+    /// through `port` was unusable (at send or at delivery time).
+    ControlDrop {
+        /// Endpoint where the drop happened.
+        node: NodeId,
+        /// Port of the unusable link at that endpoint.
+        port: PortId,
+    },
 }
 
 impl EventKind {
@@ -207,6 +243,10 @@ impl EventKind {
             EventKind::SendRejected { .. } => "send_rejected",
             EventKind::ControlSend { .. } => "control_send",
             EventKind::ControlSettled { .. } => "control_settled",
+            EventKind::Heartbeat { .. } => "heartbeat",
+            EventKind::Suspect { .. } => "suspect",
+            EventKind::Alarm { .. } => "alarm",
+            EventKind::ControlDrop { .. } => "control_drop",
         }
     }
 
@@ -240,7 +280,11 @@ impl EventKind {
             | EventKind::LinkFault { node, .. }
             | EventKind::NodeFault { node }
             | EventKind::LinkRepair { node, .. }
-            | EventKind::NodeRepair { node } => Some(*node),
+            | EventKind::NodeRepair { node }
+            | EventKind::Heartbeat { node, .. }
+            | EventKind::Suspect { node, .. }
+            | EventKind::Alarm { node, .. }
+            | EventKind::ControlDrop { node, .. } => Some(*node),
             _ => None,
         }
     }
@@ -339,6 +383,20 @@ impl TraceEvent {
             EventKind::ControlSettled { cycles } => {
                 o.num("cycles", *cycles);
             }
+            EventKind::Heartbeat { node, port, pong } => {
+                o.num("node", node.0);
+                o.num("port", port.0);
+                o.bool("pong", *pong);
+            }
+            EventKind::Suspect { node, port, misses } => {
+                o.num("node", node.0);
+                o.num("port", port.0);
+                o.num("misses", *misses);
+            }
+            EventKind::Alarm { node, port } | EventKind::ControlDrop { node, port } => {
+                o.num("node", node.0);
+                o.num("port", port.0);
+            }
         }
         o.finish()
     }
@@ -433,6 +491,20 @@ impl TraceEvent {
                 EventKind::ControlSend { from: node_of(&v, "from")?, to: node_of(&v, "to")? }
             }
             "control_settled" => EventKind::ControlSettled { cycles: req_u64(&v, "cycles")? },
+            "heartbeat" => EventKind::Heartbeat {
+                node: node_of(&v, "node")?,
+                port: port_of(&v, "port")?,
+                pong: v.get("pong").and_then(Value::as_bool).ok_or("missing `pong`")?,
+            },
+            "suspect" => EventKind::Suspect {
+                node: node_of(&v, "node")?,
+                port: port_of(&v, "port")?,
+                misses: req_u32(&v, "misses")?,
+            },
+            "alarm" => EventKind::Alarm { node: node_of(&v, "node")?, port: port_of(&v, "port")? },
+            "control_drop" => {
+                EventKind::ControlDrop { node: node_of(&v, "node")?, port: port_of(&v, "port")? }
+            }
             other => return Err(format!("unknown event tag `{other}`")),
         };
         Ok(TraceEvent { cycle, kind })
@@ -506,6 +578,11 @@ mod tests {
             EventKind::SendRejected { src: NodeId(3), dst: NodeId(4) },
             EventKind::ControlSend { from: NodeId(1), to: NodeId(2) },
             EventKind::ControlSettled { cycles: 9 },
+            EventKind::Heartbeat { node: NodeId(1), port: PortId(2), pong: false },
+            EventKind::Heartbeat { node: NodeId(2), port: PortId(0), pong: true },
+            EventKind::Suspect { node: NodeId(1), port: PortId(2), misses: 3 },
+            EventKind::Alarm { node: NodeId(1), port: PortId(2) },
+            EventKind::ControlDrop { node: NodeId(1), port: PortId(2) },
         ];
         for kind in kinds {
             let ev = TraceEvent { cycle: 7, kind };

@@ -220,6 +220,10 @@ fn opcode(kind: &EventKind) -> u8 {
         EventKind::SendRejected { .. } => 15,
         EventKind::ControlSend { .. } => 16,
         EventKind::ControlSettled { .. } => 17,
+        EventKind::Heartbeat { .. } => 18,
+        EventKind::Suspect { .. } => 19,
+        EventKind::Alarm { .. } => 20,
+        EventKind::ControlDrop { .. } => 21,
     }
 }
 
@@ -302,6 +306,20 @@ fn encode_event(ev: &TraceEvent, prev_cycle: u64, out: &mut Vec<u8>) {
             node(out, *to);
         }
         EventKind::ControlSettled { cycles } => put_varint(out, *cycles),
+        EventKind::Heartbeat { node: n, port, pong } => {
+            node(out, *n);
+            out.push(port.0);
+            out.push(u8::from(*pong));
+        }
+        EventKind::Suspect { node: n, port, misses } => {
+            node(out, *n);
+            out.push(port.0);
+            put_varint(out, u64::from(*misses));
+        }
+        EventKind::Alarm { node: n, port } | EventKind::ControlDrop { node: n, port } => {
+            node(out, *n);
+            out.push(port.0);
+        }
     }
 }
 
@@ -385,6 +403,21 @@ fn decode_event(op: u8, prev_cycle: u64, r: &mut impl Read) -> Result<TraceEvent
         15 => EventKind::SendRejected { src: node(r)?, dst: node(r)? },
         16 => EventKind::ControlSend { from: node(r)?, to: node(r)? },
         17 => EventKind::ControlSettled { cycles: read_varint(r)? },
+        18 => {
+            let n = node(r)?;
+            let p = port(r)?;
+            let pong = match read_u8(r)? {
+                0 => false,
+                1 => true,
+                other => return Err(format!("bad pong byte {other}")),
+            };
+            EventKind::Heartbeat { node: n, port: p, pong }
+        }
+        19 => {
+            EventKind::Suspect { node: node(r)?, port: port(r)?, misses: small(read_varint(r)?)? }
+        }
+        20 => EventKind::Alarm { node: node(r)?, port: port(r)? },
+        21 => EventKind::ControlDrop { node: node(r)?, port: port(r)? },
         other => return Err(format!("unknown FTB opcode {other:#04x}")),
     };
     Ok(TraceEvent { cycle, kind })

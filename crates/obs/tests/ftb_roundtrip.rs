@@ -63,6 +63,18 @@ fn arb_kind() -> impl Strategy<Value = EventKind> {
         (node(), node()).prop_map(|(src, dst)| EventKind::SendRejected { src, dst }),
         (node(), node()).prop_map(|(from, to)| EventKind::ControlSend { from, to }),
         any::<u64>().prop_map(|cycles| EventKind::ControlSettled { cycles }),
+        (node(), port(), any::<bool>()).prop_map(|(node, port, pong)| EventKind::Heartbeat {
+            node,
+            port,
+            pong
+        }),
+        (node(), port(), any::<u32>()).prop_map(|(node, port, misses)| EventKind::Suspect {
+            node,
+            port,
+            misses
+        }),
+        (node(), port()).prop_map(|(node, port)| EventKind::Alarm { node, port }),
+        (node(), port()).prop_map(|(node, port)| EventKind::ControlDrop { node, port }),
     ]
 }
 

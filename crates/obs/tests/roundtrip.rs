@@ -38,6 +38,11 @@ fn exemplars() -> Vec<EventKind> {
         EventKind::SendRejected { src: NodeId(3), dst: NodeId(4) },
         EventKind::ControlSend { from: NodeId(1), to: NodeId(2) },
         EventKind::ControlSettled { cycles: 9 },
+        EventKind::Heartbeat { node: NodeId(1), port: PortId(2), pong: false },
+        EventKind::Heartbeat { node: NodeId(2), port: PortId(0), pong: true },
+        EventKind::Suspect { node: NodeId(1), port: PortId(2), misses: 3 },
+        EventKind::Alarm { node: NodeId(1), port: PortId(2) },
+        EventKind::ControlDrop { node: NodeId(4), port: PortId(1) },
     ];
     for (i, outcome) in outcomes.into_iter().enumerate() {
         kinds.push(EventKind::RouteDecision {
@@ -85,6 +90,10 @@ fn every_variant_round_trips_through_json() {
         "send_rejected",
         "control_send",
         "control_settled",
+        "heartbeat",
+        "suspect",
+        "alarm",
+        "control_drop",
     ]
     .into_iter()
     .collect();

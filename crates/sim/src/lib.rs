@@ -58,6 +58,7 @@
 //! sink and/or metrics registry via [`NetworkBuilder`] — see `ftr-obs`.
 
 mod arena;
+pub mod detect;
 pub mod engine;
 pub mod envlock;
 pub mod fleet;
@@ -70,6 +71,7 @@ pub mod stats;
 pub mod sweep;
 pub mod traffic;
 
+pub use detect::{Detector, DetectorConfig, DetectorController, WithDetection};
 pub use engine::SimEngine;
 pub use fleet::{run_fleet, FleetJob, FleetOutcome};
 pub use flit::{Flit, FlitKind, Header, MessageId};

@@ -55,6 +55,12 @@ pub struct SimConfig {
     /// inline on the calling thread (same results, no spawn overhead).
     /// `0` forces OS threads whenever more than one shard exists.
     pub spawn_threshold: usize,
+    /// Period (cycles) of the autonomous control-plane tick: every
+    /// `tick_period` cycles each live controller's
+    /// [`NodeController::on_tick`] runs (heartbeat probing, suspicion
+    /// bookkeeping). `0` disables ticking entirely — the default, which
+    /// keeps oracle-notified configurations byte-identical.
+    pub tick_period: u64,
 }
 
 impl Default for SimConfig {
@@ -66,6 +72,7 @@ impl Default for SimConfig {
             prioritize_misrouted: false,
             threads: 1,
             spawn_threshold: 2_048,
+            tick_period: 0,
         }
     }
 }
@@ -270,6 +277,7 @@ struct SimMetrics {
     abandoned: Counter,
     rejected_sends: Counter,
     control_msgs: Counter,
+    control_dropped: Counter,
     latency: Histogram,
     hops: Histogram,
     excess_hops: Histogram,
@@ -288,6 +296,7 @@ impl SimMetrics {
             abandoned: registry.counter("sim.abandoned"),
             rejected_sends: registry.counter("sim.rejected_sends"),
             control_msgs: registry.counter("sim.control_msgs"),
+            control_dropped: registry.counter("sim.control_dropped"),
             latency: registry.histogram("sim.latency"),
             hops: registry.histogram("sim.hops"),
             excess_hops: registry.histogram("sim.excess_hops"),
@@ -385,6 +394,13 @@ impl NetworkBuilder {
     /// Favour fault-misrouted messages in switch allocation (§3).
     pub fn prioritize_misrouted(mut self, on: bool) -> Self {
         self.cfg.prioritize_misrouted = on;
+        self
+    }
+
+    /// Period (cycles) of the autonomous control-plane tick; `0`
+    /// (default) disables [`NodeController::on_tick`] entirely.
+    pub fn tick_period(mut self, cycles: u64) -> Self {
+        self.cfg.tick_period = cycles;
         self
     }
 
@@ -725,7 +741,24 @@ impl Network {
     /// the worms spanning it, notifies both endpoint controllers, and
     /// starts control-plane propagation.
     pub fn inject_link_fault(&mut self, n: NodeId, p: PortId) {
-        let Some(m) = self.topo.neighbor(n, p) else { return };
+        if let Some((m, q)) = self.link_fault_physical(n, p) {
+            self.notify_fault(n, p);
+            self.notify_fault(m, q);
+        }
+    }
+
+    /// Fails the link leaving `n` through `p` *silently*: identical
+    /// physical effect (worms ripped, link unusable, trace event) but no
+    /// `on_fault` notification — no-oracle mode, where the endpoints must
+    /// detect the loss through the heartbeat layer.
+    pub fn inject_link_fault_silent(&mut self, n: NodeId, p: PortId) {
+        self.link_fault_physical(n, p);
+    }
+
+    /// Physical half of a link fault; returns the far endpoint `(m, q)`
+    /// when the link exists.
+    fn link_fault_physical(&mut self, n: NodeId, p: PortId) -> Option<(NodeId, PortId)> {
+        let m = self.topo.neighbor(n, p)?;
         let q = self.topo.port_towards(m, n).expect("reverse port");
         self.faults.fail_link(self.topo.as_ref(), n, p);
         self.emit(|| EventKind::LinkFault { node: n, port: p });
@@ -761,13 +794,31 @@ impl Network {
             }
         }
         self.kill_messages(&dead, false);
-        self.notify_fault(n, p);
-        self.notify_fault(m, q);
+        Some((m, q))
     }
 
     /// Fails node `n`: rips every worm touching it, kills in-flight
     /// messages destined to it, and notifies all alive neighbours.
     pub fn inject_node_fault(&mut self, n: NodeId) {
+        self.node_fault_physical(n);
+        for (p, nb) in self.topo.neighbors(n) {
+            if !self.faults.node_faulty(nb) {
+                let q = self.topo.port_towards(nb, n).expect("reverse");
+                self.notify_fault(nb, q);
+            }
+            let _ = p;
+        }
+    }
+
+    /// Fails node `n` *silently*: identical physical effect but no
+    /// neighbour `on_fault` notification — a Byzantine-silent node that
+    /// simply stops participating (no-oracle mode).
+    pub fn inject_node_fault_silent(&mut self, n: NodeId) {
+        self.node_fault_physical(n);
+    }
+
+    /// Physical half of a node fault.
+    fn node_fault_physical(&mut self, n: NodeId) {
         self.faults.fail_node(n);
         self.emit(|| EventKind::NodeFault { node: n });
         let geo = self.chans.geo();
@@ -833,13 +884,6 @@ impl Network {
             }
         }
         self.kill_messages(&dead, false);
-        for (p, nb) in self.topo.neighbors(n) {
-            if !self.faults.node_faulty(nb) {
-                let q = self.topo.port_towards(nb, n).expect("reverse");
-                self.notify_fault(nb, q);
-            }
-            let _ = p;
-        }
     }
 
     /// Repairs the link leaving `n` through `p`: re-arms it in the fault
@@ -849,17 +893,34 @@ impl Network {
     /// can un-learn their monotone fault knowledge. No-op for unconnected
     /// ports and healthy links.
     pub fn repair_link(&mut self, n: NodeId, p: PortId) {
-        let Some(m) = self.topo.neighbor(n, p) else { return };
-        if !self.faults.link_faulty(self.topo.as_ref(), n, p) {
-            return;
+        if let Some((m, q)) = self.link_repair_physical(n, p) {
+            self.notify_repair(n, p);
+            self.notify_repair(m, q);
         }
-        let Some(l) = self.topo.link(n, p) else { return };
+    }
+
+    /// Repairs the link leaving `n` through `p` *silently*: the link
+    /// carries traffic again but no `on_repair` fires — controllers
+    /// re-learn through resumed liveness probes (no-oracle mode).
+    pub fn repair_link_silent(&mut self, n: NodeId, p: PortId) {
+        self.link_repair_physical(n, p);
+    }
+
+    /// Physical half of a link repair; returns the far endpoint `(m, q)`
+    /// when the repaired link is usable again (both endpoints alive).
+    fn link_repair_physical(&mut self, n: NodeId, p: PortId) -> Option<(NodeId, PortId)> {
+        let m = self.topo.neighbor(n, p)?;
+        if !self.faults.link_faulty(self.topo.as_ref(), n, p) {
+            return None;
+        }
+        let l = self.topo.link(n, p)?;
         self.faults.repair_link(l);
         self.emit(|| EventKind::LinkRepair { node: n, port: p });
         if self.faults.link_usable(self.topo.as_ref(), n, p) {
             let q = self.topo.port_towards(m, n).expect("reverse port");
-            self.notify_repair(n, p);
-            self.notify_repair(m, q);
+            Some((m, q))
+        } else {
+            None
         }
     }
 
@@ -868,15 +929,9 @@ impl Network {
     /// healthy link. The repaired node's controller keeps its accumulated
     /// state — algorithms reset it in [`NodeController::on_repair`].
     pub fn repair_node(&mut self, n: NodeId) {
-        if !self.faults.node_faulty(n) {
+        if !self.node_repair_physical(n) {
             return;
         }
-        self.faults.repair_node(n);
-        self.emit(|| EventKind::NodeRepair { node: n });
-        // the router hardware comes back empty: fresh buffers, credits and
-        // allocation state (everything it held was killed at fault time)
-        self.chans.reset_node(n.idx());
-        self.recompute_credits_and_loads();
         for (p, nb) in self.topo.neighbors(n) {
             if self.faults.link_usable(self.topo.as_ref(), n, p) {
                 let q = self.topo.port_towards(nb, n).expect("reverse");
@@ -886,6 +941,26 @@ impl Network {
         }
     }
 
+    /// Repairs node `n` *silently*: hardware comes back empty but no
+    /// `on_repair` notifications fire anywhere (no-oracle mode).
+    pub fn repair_node_silent(&mut self, n: NodeId) {
+        self.node_repair_physical(n);
+    }
+
+    /// Physical half of a node repair; true if the node was faulty.
+    fn node_repair_physical(&mut self, n: NodeId) -> bool {
+        if !self.faults.node_faulty(n) {
+            return false;
+        }
+        self.faults.repair_node(n);
+        self.emit(|| EventKind::NodeRepair { node: n });
+        // the router hardware comes back empty: fresh buffers, credits and
+        // allocation state (everything it held was killed at fault time)
+        self.chans.reset_node(n.idx());
+        self.recompute_credits_and_loads();
+        true
+    }
+
     fn notify_repair(&mut self, node: NodeId, port: PortId) {
         if self.faults.node_faulty(node) {
             return;
@@ -893,6 +968,7 @@ impl Network {
         let view_data = self.view_data(node);
         let view = view_data.view(node, self.cycle);
         let msgs = self.ctrls[node.idx()].on_repair(&view, port);
+        self.flush_controller_events(node);
         self.enqueue_control(node, msgs);
     }
 
@@ -944,13 +1020,41 @@ impl Network {
         let view_data = self.view_data(node);
         let view = view_data.view(node, self.cycle);
         let msgs = self.ctrls[node.idx()].on_fault(&view, port);
+        self.flush_controller_events(node);
         self.enqueue_control(node, msgs);
+    }
+
+    /// Records trace events a controller produced inside a control-plane
+    /// hook (detector heartbeats/suspicions/alarms), stamped with the
+    /// current cycle. Skipped entirely without a sink — the default
+    /// [`NodeController::drain_events`] allocates nothing either way.
+    fn flush_controller_events(&mut self, n: NodeId) {
+        if self.sink.is_none() {
+            return;
+        }
+        for kind in self.ctrls[n.idx()].drain_events() {
+            self.emit(|| kind);
+        }
+    }
+
+    /// Counts (and traces) a control-plane message discarded because the
+    /// link through `port` at `node` was unusable — at send time or while
+    /// the words were on the wire.
+    fn drop_control(&mut self, node: NodeId, port: PortId) {
+        self.stats.control_dropped += 1;
+        self.emit(|| EventKind::ControlDrop { node, port });
+        if let Some(m) = &self.metrics {
+            m.control_dropped.inc();
+        }
     }
 
     fn enqueue_control(&mut self, from: NodeId, msgs: Vec<ControlMsg>) {
         for msg in msgs {
             if !self.faults.link_usable(self.topo.as_ref(), from, msg.port) {
-                continue; // control messages need healthy links too
+                // control messages need healthy links too; account for the
+                // loss instead of discarding silently
+                self.drop_control(from, msg.port);
+                continue;
             }
             let to = self.topo.neighbor(from, msg.port).expect("usable link");
             let from_port = self.topo.port_towards(to, from).expect("reverse");
@@ -1082,6 +1186,10 @@ impl Network {
                 FaultAction::RepairLink(n, p) => self.repair_link(n, p),
                 FaultAction::FailNode(n) => self.inject_node_fault(n),
                 FaultAction::RepairNode(n) => self.repair_node(n),
+                FaultAction::FailLinkSilent(n, p) => self.inject_link_fault_silent(n, p),
+                FaultAction::RepairLinkSilent(n, p) => self.repair_link_silent(n, p),
+                FaultAction::FailNodeSilent(n) => self.inject_node_fault_silent(n),
+                FaultAction::RepairNodeSilent(n) => self.repair_node_silent(n),
             }
         }
     }
@@ -1211,6 +1319,23 @@ impl Network {
             }
         }
 
+        // 0.5 autonomous control-plane tick (heartbeats, suspicion
+        // bookkeeping) — ascending node order for determinism, live nodes
+        // only; disabled unless a tick period was configured
+        if self.cfg.tick_period != 0 && self.cycle.is_multiple_of(self.cfg.tick_period) {
+            for i in 0..self.ctrls.len() {
+                let n = NodeId(i as u32);
+                if self.faults.node_faulty(n) {
+                    continue;
+                }
+                let vd = self.view_data(n);
+                let view = vd.view(n, self.cycle);
+                let msgs = self.ctrls[i].on_tick(&view, self.cycle);
+                self.flush_controller_events(n);
+                self.enqueue_control(n, msgs);
+            }
+        }
+
         // 1. control-plane deliveries due this cycle
         let mut due = std::mem::take(&mut self.scratch.due);
         while self.control.front().is_some_and(|d| d.due <= self.cycle) {
@@ -1220,9 +1345,18 @@ impl Network {
             if self.faults.node_faulty(d.to) {
                 continue;
             }
+            // time-of-send vs time-of-delivery: the traversed link (and
+            // with it the sender node) must still be usable NOW — a link
+            // that died after the send at cycle C never lands its words
+            // at C+1
+            if !self.faults.link_usable(self.topo.as_ref(), d.to, d.from_port) {
+                self.drop_control(d.to, d.from_port);
+                continue;
+            }
             let vd = self.view_data(d.to);
             let view = vd.view(d.to, self.cycle);
             let replies = self.ctrls[d.to.idx()].on_control(&view, d.from_port, &d.payload);
+            self.flush_controller_events(d.to);
             self.enqueue_control(d.to, replies);
         }
         self.scratch.due = due;

@@ -21,6 +21,18 @@ pub enum FaultAction {
     FailNode(NodeId),
     /// Repair this node.
     RepairNode(NodeId),
+    /// Fail the link *silently*: full physical effect (worms ripped,
+    /// link unusable) but no `on_fault` oracle notification — the
+    /// endpoints must detect the loss themselves (no-oracle mode).
+    FailLinkSilent(NodeId, PortId),
+    /// Repair the link silently: the link carries traffic again but no
+    /// `on_repair` notification fires — controllers re-learn through
+    /// resumed liveness probes.
+    RepairLinkSilent(NodeId, PortId),
+    /// Fail this node silently (Byzantine-silent node: it just stops).
+    FailNodeSilent(NodeId),
+    /// Repair this node silently.
+    RepairNodeSilent(NodeId),
 }
 
 /// A [`FaultAction`] scheduled at an absolute cycle.
@@ -130,6 +142,23 @@ impl FaultPlan {
             plan = plan.transient_node(at, NodeId(i as u32), repair_after);
         }
         plan
+    }
+
+    /// Converts every scripted action into its silent (no-oracle)
+    /// counterpart: same cycles, same physical effects, but controllers
+    /// get no `on_fault`/`on_repair` notification and must rely on the
+    /// detection layer. Idempotent on already-silent actions.
+    pub fn silenced(mut self) -> Self {
+        for pa in &mut self.actions {
+            pa.action = match pa.action {
+                FaultAction::FailLink(n, p) => FaultAction::FailLinkSilent(n, p),
+                FaultAction::RepairLink(n, p) => FaultAction::RepairLinkSilent(n, p),
+                FaultAction::FailNode(n) => FaultAction::FailNodeSilent(n),
+                FaultAction::RepairNode(n) => FaultAction::RepairNodeSilent(n),
+                silent => silent,
+            };
+        }
+        self
     }
 
     /// Merges another plan's remaining actions into this one.

@@ -8,6 +8,7 @@
 //! propagation of NAFTA/ROUTE_C).
 
 use crate::flit::Header;
+use ftr_obs::EventKind;
 use ftr_topo::{NodeId, PortId, Topology, VcId};
 
 /// What the control unit can observe at its node when deciding — produced
@@ -99,6 +100,27 @@ pub trait NodeController: Send {
         in_port: Option<PortId>,
         in_vc: VcId,
     ) -> Decision;
+
+    /// Periodic control-plane hook: invoked for every live node when the
+    /// network's tick period elapses (see `NetworkBuilder::tick_period`;
+    /// never invoked without one). Runs in ascending node order before the
+    /// cycle's control deliveries, so controllers can drive autonomous
+    /// protocols — heartbeat probing, timeout bookkeeping, suspicion
+    /// escalation — without any oracle notification. Returns control
+    /// messages to send this cycle. Default: no-op, which keeps
+    /// oracle-notified algorithms unchanged.
+    fn on_tick(&mut self, view: &RouterView<'_>, cycle: u64) -> Vec<ControlMsg> {
+        let _ = (view, cycle);
+        Vec::new()
+    }
+
+    /// Drains trace events the controller wants recorded (heartbeats,
+    /// suspicions, alarms). The network calls this after each control-plane
+    /// hook (`on_tick`/`on_control`/`on_fault`/`on_repair`) and stamps the
+    /// events with the current cycle. Default: none.
+    fn drain_events(&mut self) -> Vec<EventKind> {
+        Vec::new()
+    }
 
     /// A control message arrived from the neighbour behind `from`.
     /// Returns follow-up control messages (state propagation).

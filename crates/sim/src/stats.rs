@@ -114,6 +114,9 @@ pub struct SimStats {
     pub decision_steps: Accum,
     /// Control-plane messages exchanged (fault propagation traffic).
     pub control_msgs: u64,
+    /// Control-plane messages discarded on unusable links — at send time
+    /// or between send and their next-cycle delivery.
+    pub control_dropped: u64,
     /// Deadlock detected by the watchdog.
     pub deadlock: bool,
     /// Cycles in the measurement window.

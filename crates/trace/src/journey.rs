@@ -305,6 +305,8 @@ pub struct JourneyBook {
     last_cycle: Option<u64>,
     fault_events: u64,
     repair_events: u64,
+    alarm_events: u64,
+    control_drops: u64,
 }
 
 impl JourneyBook {
@@ -447,7 +449,12 @@ impl JourneyBook {
             EventKind::LinkRepair { .. } | EventKind::NodeRepair { .. } => {
                 self.repair_events += 1;
             }
-            EventKind::ControlSend { .. } | EventKind::ControlSettled { .. } => {}
+            EventKind::ControlSend { .. }
+            | EventKind::ControlSettled { .. }
+            | EventKind::Heartbeat { .. }
+            | EventKind::Suspect { .. } => {}
+            EventKind::Alarm { .. } => self.alarm_events += 1,
+            EventKind::ControlDrop { .. } => self.control_drops += 1,
         }
     }
 
@@ -545,6 +552,16 @@ impl JourneyBook {
         self.repair_events
     }
 
+    /// Detection alarms seen (a detector declared a local fault).
+    pub fn alarm_events(&self) -> u64 {
+        self.alarm_events
+    }
+
+    /// Control-plane messages dropped on unusable links.
+    pub fn control_drops(&self) -> u64 {
+        self.control_drops
+    }
+
     /// Aggregates every journey into one [`BookSummary`].
     pub fn summary(&self) -> BookSummary {
         let mut s = BookSummary {
@@ -587,6 +604,29 @@ mod tests {
 
     fn ev(cycle: u64, kind: EventKind) -> TraceEvent {
         TraceEvent { cycle, kind }
+    }
+
+    /// Detection-layer events fold into dedicated counters without
+    /// touching message accounting or raising anomalies.
+    #[test]
+    fn detection_events_fold_into_counters() {
+        let mut book = JourneyBook::new();
+        let n = NodeId(3);
+        let p = PortId(1);
+        book.fold_all(&[
+            ev(8, EventKind::Heartbeat { node: n, port: p, pong: false }),
+            ev(10, EventKind::Heartbeat { node: n, port: p, pong: true }),
+            ev(16, EventKind::Suspect { node: n, port: p, misses: 1 }),
+            ev(24, EventKind::Suspect { node: n, port: p, misses: 2 }),
+            ev(24, EventKind::ControlDrop { node: n, port: p }),
+            ev(32, EventKind::Alarm { node: n, port: p }),
+        ]);
+        assert_eq!(book.alarm_events(), 1);
+        assert_eq!(book.control_drops(), 1);
+        assert_eq!(book.orphans(), 0, "protocol events reference no message");
+        assert!(book.anomalies().is_empty(), "{:?}", book.anomalies());
+        let s = book.summary();
+        assert_eq!((s.injected, s.delivered, s.in_flight), (0, 0, 0));
     }
 
     /// Hand-built trace: inject at 0, decide at 2 (src queue 2), wait 3

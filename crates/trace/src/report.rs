@@ -22,6 +22,10 @@ pub struct TraceReport {
     pub fault_events: u64,
     /// Repair events (link + node).
     pub repair_events: u64,
+    /// Detection alarms (a detector declared a local fault).
+    pub alarm_events: u64,
+    /// Control-plane words dropped on unusable links.
+    pub control_drops: u64,
     /// Journey aggregates.
     pub summary: BookSummary,
     /// Busiest channels, by busy cycles, descending.
@@ -57,6 +61,8 @@ impl TraceReport {
             anomalies: book.anomalies().to_vec(),
             fault_events: book.fault_events(),
             repair_events: book.repair_events(),
+            alarm_events: book.alarm_events(),
+            control_drops: book.control_drops(),
             summary: book.summary(),
             top_busy: by_busy,
             top_stalled: by_stall,
@@ -118,6 +124,8 @@ impl TraceReport {
         o.field("anomalies", json::array(self.anomalies.iter().map(|a| json::string(a))));
         o.num("fault_events", self.fault_events);
         o.num("repair_events", self.repair_events);
+        o.num("alarm_events", self.alarm_events);
+        o.num("control_drops", self.control_drops);
         o.num("injected", s.injected);
         o.num("delivered", s.delivered);
         o.num("killed", s.killed);
@@ -197,6 +205,13 @@ impl TraceReport {
                 out,
                 "faults: {} injected, {} repaired",
                 self.fault_events, self.repair_events
+            );
+        }
+        if self.alarm_events + self.control_drops > 0 {
+            let _ = writeln!(
+                out,
+                "detection: {} alarms, {} control words dropped",
+                self.alarm_events, self.control_drops
             );
         }
         if s.latency.count > 0 {
